@@ -1,0 +1,31 @@
+"""Shared fixtures for the per-figure/table benchmarks.
+
+Every benchmark regenerates one table or figure of the paper on a
+sampled suite (every ninth public trace, every seventh IPC-1 trace, short
+synthetic traces) so the whole harness completes in minutes.  Scale up
+with the ``repro-experiment`` CLI (``--stride 1 --instructions 20000``)
+to run the full 135/50-trace suites.
+
+The :class:`~repro.experiments.runner.ExperimentRunner` is session-scoped
+and memoises conversions and simulations, so later benchmarks reuse the
+runs of earlier ones — each benchmark's time reflects the *incremental*
+work its experiment adds.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+#: Benchmark-scale sampling parameters.
+INSTRUCTIONS = 6000
+STRIDE = 9
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(instructions=INSTRUCTIONS, stride=STRIDE)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

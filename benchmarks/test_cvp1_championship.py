@@ -1,0 +1,51 @@
+"""Extension benchmark: the CVP-1 championship substrate.
+
+Not a table of the paper, but of its subject matter: the CVP-1 traces
+exist for value prediction, and the paper's introduction documents the
+CVP-1 simulator's base-update latency flaw (patched in CVP-2).  This
+benchmark runs the predictor family and quantifies that flaw.
+"""
+
+from repro.cvpsim import CvpSimulator, make_value_predictor
+from repro.experiments.runner import geomean
+from repro.synth import make_trace
+
+from benchmarks.conftest import INSTRUCTIONS, once
+
+TRACES = ("compute_int_5", "compute_fp_9", "srv_10", "crypto_3")
+
+
+def _championship():
+    records = {name: make_trace(name, INSTRUCTIONS) for name in TRACES}
+    table = {}
+    for predictor_name in ("none", "last-value", "stride", "context", "composite"):
+        ipcs = []
+        for name in TRACES:
+            predictor = make_value_predictor(predictor_name)
+            ipcs.append(CvpSimulator(predictor).run(records[name]).ipc)
+        table[predictor_name] = geomean(ipcs)
+    flawed = geomean(
+        CvpSimulator(base_update_fix=False).run(records[n]).ipc for n in TRACES
+    )
+    fixed = geomean(
+        CvpSimulator(base_update_fix=True).run(records[n]).ipc for n in TRACES
+    )
+    return table, flawed, fixed
+
+
+def test_cvp1_championship(benchmark):
+    table, flawed, fixed = once(benchmark, _championship)
+    print()
+    print("CVP-1 championship (geomean IPC):")
+    for name, ipc in table.items():
+        print(f"  {name:12s} {ipc:.3f}  ({ipc / table['none']:.3f}x)")
+    print(f"base-update latency flaw: CVP-1 {flawed:.3f} -> CVP-2 {fixed:.3f} "
+          f"({100 * (fixed / flawed - 1):+.1f}%)")
+
+    # Championship shape: stride-class predictors dominate, composite at
+    # least matches stride, everything beats no prediction.
+    assert table["stride"] > table["none"]
+    assert table["composite"] >= table["stride"] * 0.98
+    assert table["last-value"] >= table["none"] * 0.999
+    # The CVP-2 patch helps (the paper-introduction flaw is real here).
+    assert fixed >= flawed

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a trace, convert it both ways, compare the runs.
+
+This is the paper's core experiment in miniature: the same synthetic
+CVP-1 workload converted with the *original* ``cvp2champsim`` behaviour
+and with all six improvements, simulated on the paper's Section 4
+configuration.
+
+Run::
+
+    python examples/quickstart.py [trace-name] [instructions]
+"""
+
+import sys
+
+from repro.core import Converter, Improvement
+from repro.sim import SimConfig, Simulator
+from repro.synth import make_trace
+
+
+def main() -> int:
+    trace_name = sys.argv[1] if len(sys.argv) > 1 else "srv_3"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    print(f"Generating synthetic CVP-1 trace {trace_name!r} "
+          f"({instructions} instructions)...")
+    records = make_trace(trace_name, instructions)
+
+    results = {}
+    for label, improvements in (
+        ("original converter", Improvement.NONE),
+        ("improved converter", Improvement.ALL),
+    ):
+        converter = Converter(improvements)
+        instrs = list(converter.convert(records))
+        stats = Simulator(SimConfig.main()).run(
+            instrs, converter.required_branch_rules
+        )
+        results[label] = stats
+        print(f"\n=== {label} "
+              f"({converter.stats.instructions_out} ChampSim instructions) ===")
+        print(stats.summary())
+        if improvements is Improvement.ALL:
+            cs = converter.stats
+            print(
+                f"converter activity: {cs.base_updates_split} base-update "
+                f"splits, {cs.misclassified_calls_fixed} calls re-classified, "
+                f"{cs.flag_dsts_added} flag destinations added, "
+                f"{cs.two_line_accesses} line-crossing accesses"
+            )
+
+    orig = results["original converter"]
+    imp = results["improved converter"]
+    delta = 100 * (imp.ipc / orig.ipc - 1)
+    print(f"\nIPC with higher-fidelity conversion: {imp.ipc:.3f} vs "
+          f"{orig.ipc:.3f} ({delta:+.1f}%)")
+    print("(The paper: the IPC of 43 of the 135 CVP-1 public traces moves "
+          "by more than 5%.)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

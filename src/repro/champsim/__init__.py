@@ -1,0 +1,63 @@
+"""ChampSim trace substrate.
+
+ChampSim consumes x86-flavoured traces of fixed 64-byte records (paper
+Section 3).  This subpackage reimplements:
+
+- :mod:`repro.champsim.regs` — ChampSim's special register numbers
+  (stack pointer, flags, instruction pointer) and the mapping from CVP-1
+  architectural registers into ChampSim register ids;
+- :mod:`repro.champsim.trace` — the 64-byte ``input_instr`` record with
+  encode/decode and streaming reader/writer;
+- :mod:`repro.champsim.branch_info` — branch-type deduction from register
+  usage, in two flavours: ChampSim's ORIGINAL rules and the PATCHED rules
+  the paper introduces alongside the ``branch-regs`` improvement
+  (Section 3.2.2).
+"""
+
+from repro.champsim.regs import (
+    REG_STACK_POINTER,
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER,
+    REG_OTHER_INFO,
+    champsim_reg,
+    is_special_reg,
+)
+from repro.champsim.trace import (
+    ChampSimInstr,
+    RECORD_SIZE,
+    MAX_DST_REGS,
+    MAX_SRC_REGS,
+    MAX_DST_MEM,
+    MAX_SRC_MEM,
+    encode_instr,
+    decode_instr,
+    ChampSimTraceReader,
+    ChampSimTraceWriter,
+    read_champsim_trace,
+    write_champsim_trace,
+)
+from repro.champsim.branch_info import BranchType, BranchRules, deduce_branch_type
+
+__all__ = [
+    "REG_STACK_POINTER",
+    "REG_FLAGS",
+    "REG_INSTRUCTION_POINTER",
+    "REG_OTHER_INFO",
+    "champsim_reg",
+    "is_special_reg",
+    "ChampSimInstr",
+    "RECORD_SIZE",
+    "MAX_DST_REGS",
+    "MAX_SRC_REGS",
+    "MAX_DST_MEM",
+    "MAX_SRC_MEM",
+    "encode_instr",
+    "decode_instr",
+    "ChampSimTraceReader",
+    "ChampSimTraceWriter",
+    "read_champsim_trace",
+    "write_champsim_trace",
+    "BranchType",
+    "BranchRules",
+    "deduce_branch_type",
+]

@@ -1,0 +1,120 @@
+"""ChampSim branch-type deduction from register usage.
+
+ChampSim traces carry no branch-type field; the simulator deduces the type
+from which special registers (stack pointer, flags, instruction pointer)
+an instruction reads and writes (paper Section 3.2).  This module
+implements both rule sets:
+
+- :attr:`BranchRules.ORIGINAL` — ChampSim as found: the rules of
+  ``instruction.h``.  Indirect jumps are checked *before* conditional
+  branches, conditionals must read flags and nothing else.
+- :attr:`BranchRules.PATCHED` — the two modifications the paper proposes
+  so that the ``branch-regs`` improvement survives deduction
+  (Section 3.2.2):
+
+  1. a conditional branch may read *either* flags *or* other registers;
+  2. an indirect jump must additionally *not read the instruction
+     pointer* (safe for x86, whose indirect branches are absolute).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.champsim.regs import (
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER,
+    REG_STACK_POINTER,
+)
+from repro.champsim.trace import ChampSimInstr
+
+
+class BranchType(enum.Enum):
+    """ChampSim's six branch categories (plus not-a-branch)."""
+
+    NOT_BRANCH = "not_branch"
+    DIRECT_JUMP = "direct_jump"
+    INDIRECT = "indirect"
+    CONDITIONAL = "conditional"
+    DIRECT_CALL = "direct_call"
+    INDIRECT_CALL = "indirect_call"
+    RETURN = "return"
+    #: A branch whose register signature matches none of the six patterns.
+    OTHER = "other"
+
+
+class BranchRules(enum.Enum):
+    """Which deduction rule set to apply."""
+
+    ORIGINAL = "original"
+    PATCHED = "patched"
+
+
+def deduce_branch_type(
+    instr: ChampSimInstr, rules: BranchRules = BranchRules.ORIGINAL
+) -> BranchType:
+    """Classify ``instr`` the way ChampSim's trace reader would.
+
+    The checks run in ChampSim's order — direct jump, indirect jump,
+    conditional, direct call, indirect call, return — and the first match
+    wins.  Instructions not flagged as branches are NOT_BRANCH regardless
+    of their register usage.
+    """
+    if not instr.is_branch:
+        return BranchType.NOT_BRANCH
+
+    reads_sp = instr.reads(REG_STACK_POINTER)
+    writes_sp = instr.writes(REG_STACK_POINTER)
+    reads_flags = instr.reads(REG_FLAGS)
+    reads_ip = instr.reads(REG_INSTRUCTION_POINTER)
+    writes_ip = instr.writes(REG_INSTRUCTION_POINTER)
+    reads_other = any(
+        reg not in (REG_STACK_POINTER, REG_FLAGS, REG_INSTRUCTION_POINTER)
+        for reg in instr.src_regs
+    )
+    patched = rules is BranchRules.PATCHED
+
+    if writes_ip and not reads_sp and not reads_flags and not reads_other:
+        return BranchType.DIRECT_JUMP
+
+    indirect = writes_ip and not reads_sp and not reads_flags and reads_other
+    if patched:
+        # Paper: x86 indirect branches are absolute, so they never read
+        # the instruction pointer; requiring that lets register-reading
+        # conditional branches fall through to the conditional rule.
+        indirect = indirect and not reads_ip
+    if indirect:
+        return BranchType.INDIRECT
+
+    conditional = reads_ip and writes_ip and not reads_sp and not writes_sp
+    if patched:
+        conditional = conditional and (reads_flags or reads_other)
+    else:
+        conditional = conditional and reads_flags and not reads_other
+    if conditional:
+        return BranchType.CONDITIONAL
+
+    if (
+        reads_ip
+        and reads_sp
+        and writes_ip
+        and writes_sp
+        and not reads_flags
+        and not reads_other
+    ):
+        return BranchType.DIRECT_CALL
+
+    if (
+        reads_ip
+        and reads_sp
+        and writes_ip
+        and writes_sp
+        and not reads_flags
+        and reads_other
+    ):
+        return BranchType.INDIRECT_CALL
+
+    if reads_sp and writes_sp and writes_ip and not reads_ip:
+        return BranchType.RETURN
+
+    return BranchType.OTHER

@@ -1,0 +1,59 @@
+"""ChampSim register identifiers and the CVP-1 → ChampSim register mapping.
+
+ChampSim deduces the branch type of a trace instruction purely from which
+*special* registers it reads and writes (paper Section 3): the stack
+pointer (6), the flags register (25) and the instruction pointer (26) —
+the x86 register numbers ChampSim inherited from its Intel origins.
+
+Architectural Aarch64 registers from a CVP-1 trace must therefore be
+mapped into ChampSim register ids that (a) never collide with the special
+registers and (b) keep 0 free, since a zero byte in a trace record means
+"empty register slot".  :func:`champsim_reg` implements the mapping.
+"""
+
+from __future__ import annotations
+
+#: x86 stack pointer register id used by ChampSim's branch deduction.
+REG_STACK_POINTER = 6
+
+#: x86 flags register id.
+REG_FLAGS = 25
+
+#: x86 instruction pointer register id.
+REG_INSTRUCTION_POINTER = 26
+
+_SPECIAL = frozenset({REG_STACK_POINTER, REG_FLAGS, REG_INSTRUCTION_POINTER})
+
+#: Where colliding architectural registers are displaced to (above the
+#: 0..64 architectural range, still within the trace format's uint8).
+_COLLISION_OFFSET = 64
+
+
+def is_special_reg(reg: int) -> bool:
+    """True for the three registers ChampSim's branch deduction inspects."""
+    return reg in _SPECIAL
+
+
+def champsim_reg(cvp_reg: int) -> int:
+    """Map a CVP-1 architectural register (0..63) to a ChampSim register id.
+
+    The mapping is ``r + 1`` (so 0 remains the empty-slot sentinel), with
+    the three values that would collide with ChampSim's special registers
+    displaced upward by 64.  It is injective, so register dependencies are
+    preserved exactly.
+    """
+    mapped = cvp_reg + 1
+    if mapped in _SPECIAL:
+        return mapped + _COLLISION_OFFSET
+    return mapped
+
+
+#: The synthetic register the *original* cvp2champsim converter attached as
+#: a source of indirect branches, purely to convey "reads other register"
+#: to ChampSim's type deduction (paper Section 3.2.2).  The paper's
+#: ``branch-regs`` improvement stops using it.  Register X56, mapped.
+REG_OTHER_INFO = champsim_reg(56)
+
+#: The register the original converter forged as the destination of
+#: destination-less memory instructions (paper Section 3.1.1): X0, mapped.
+REG_FORGED_X0 = champsim_reg(0)

@@ -1,0 +1,250 @@
+"""The ChampSim trace format: fixed 64-byte ``input_instr`` records.
+
+Per the paper (Section 3), every instruction occupies exactly 64 bytes:
+
+====================  =====  =================================
+Field                 Bytes  Notes
+====================  =====  =================================
+instruction pointer   8
+is branch             1      used as a boolean
+branch taken          1
+destination registers 2x1    0 = empty slot
+source registers      4x1    0 = empty slot
+memory destinations   2x8    0 = empty slot
+memory sources        4x8    0 = empty slot
+====================  =====  =================================
+
+There is no operation-type field: ChampSim decides load/store from the
+memory slots and branch type from the register usage
+(:mod:`repro.champsim.branch_info`).
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Tuple, Union
+
+#: On-disk size of one record.
+RECORD_SIZE = 64
+
+MAX_DST_REGS = 2
+MAX_SRC_REGS = 4
+MAX_DST_MEM = 2
+MAX_SRC_MEM = 4
+
+_STRUCT = struct.Struct("<QBB2B4B2Q4Q")
+assert _STRUCT.size == RECORD_SIZE
+
+_U64_MASK = (1 << 64) - 1
+
+
+class ChampSimTraceError(Exception):
+    """Raised on malformed ChampSim trace bytes or over-full records."""
+
+
+@dataclass
+class ChampSimInstr:
+    """One decoded ChampSim trace instruction.
+
+    Register/memory tuples hold only the *occupied* slots; zero sentinel
+    slots are stripped on decode and re-added on encode.
+    """
+
+    ip: int
+    is_branch: bool = False
+    branch_taken: bool = False
+    dst_regs: Tuple[int, ...] = ()
+    src_regs: Tuple[int, ...] = ()
+    dst_mem: Tuple[int, ...] = ()
+    src_mem: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.dst_regs = tuple(self.dst_regs)
+        self.src_regs = tuple(self.src_regs)
+        self.dst_mem = tuple(self.dst_mem)
+        self.src_mem = tuple(self.src_mem)
+        if len(self.dst_regs) > MAX_DST_REGS:
+            raise ChampSimTraceError(
+                f"{len(self.dst_regs)} destination registers; format allows "
+                f"{MAX_DST_REGS}"
+            )
+        if len(self.src_regs) > MAX_SRC_REGS:
+            raise ChampSimTraceError(
+                f"{len(self.src_regs)} source registers; format allows "
+                f"{MAX_SRC_REGS}"
+            )
+        if len(self.dst_mem) > MAX_DST_MEM:
+            raise ChampSimTraceError(
+                f"{len(self.dst_mem)} memory destinations; format allows "
+                f"{MAX_DST_MEM}"
+            )
+        if len(self.src_mem) > MAX_SRC_MEM:
+            raise ChampSimTraceError(
+                f"{len(self.src_mem)} memory sources; format allows "
+                f"{MAX_SRC_MEM}"
+            )
+        for reg in self.dst_regs + self.src_regs:
+            if not 0 < reg < 256:
+                raise ChampSimTraceError(f"register id {reg} outside 1..255")
+
+    @property
+    def is_load(self) -> bool:
+        """ChampSim's rule: an instruction with memory sources is a load."""
+        return bool(self.src_mem)
+
+    @property
+    def is_store(self) -> bool:
+        """ChampSim's rule: an instruction with memory destinations stores."""
+        return bool(self.dst_mem)
+
+    def reads(self, reg: int) -> bool:
+        return reg in self.src_regs
+
+    def writes(self, reg: int) -> bool:
+        return reg in self.dst_regs
+
+
+def encode_instr(instr: ChampSimInstr) -> bytes:
+    """Serialise one instruction to its 64-byte record."""
+
+    def pad(values: Tuple[int, ...], width: int) -> List[int]:
+        return list(values) + [0] * (width - len(values))
+
+    return _STRUCT.pack(
+        instr.ip & _U64_MASK,
+        1 if instr.is_branch else 0,
+        1 if instr.branch_taken else 0,
+        *pad(instr.dst_regs, MAX_DST_REGS),
+        *pad(instr.src_regs, MAX_SRC_REGS),
+        *[addr & _U64_MASK for addr in pad(instr.dst_mem, MAX_DST_MEM)],
+        *[addr & _U64_MASK for addr in pad(instr.src_mem, MAX_SRC_MEM)],
+    )
+
+
+def decode_instr(data: bytes) -> ChampSimInstr:
+    """Decode one 64-byte record."""
+    if len(data) != RECORD_SIZE:
+        raise ChampSimTraceError(
+            f"record must be {RECORD_SIZE} bytes, got {len(data)}"
+        )
+    fields = _STRUCT.unpack(data)
+    ip, is_branch, taken = fields[0], fields[1], fields[2]
+    dst_regs = tuple(r for r in fields[3:5] if r)
+    src_regs = tuple(r for r in fields[5:9] if r)
+    dst_mem = tuple(a for a in fields[9:11] if a)
+    src_mem = tuple(a for a in fields[11:15] if a)
+    return ChampSimInstr(
+        ip=ip,
+        is_branch=bool(is_branch),
+        branch_taken=bool(taken),
+        dst_regs=dst_regs,
+        src_regs=src_regs,
+        dst_mem=dst_mem,
+        src_mem=src_mem,
+    )
+
+
+def _open(path: Union[str, Path], mode: str) -> BinaryIO:
+    path = Path(path)
+    if path.suffix in (".gz", ".xz"):
+        if path.suffix == ".xz":
+            import lzma
+
+            return lzma.open(path, mode)  # type: ignore[return-value]
+        return gzip.open(path, mode)  # type: ignore[return-value]
+    return open(path, mode)
+
+
+class ChampSimTraceWriter:
+    """Stream :class:`ChampSimInstr` records to a file (gz/xz by suffix)."""
+
+    def __init__(self, destination: Union[str, Path, BinaryIO]):
+        if isinstance(destination, (str, Path)):
+            self._stream: BinaryIO = _open(destination, "wb")
+            self._owns = True
+        else:
+            self._stream = destination
+            self._owns = False
+        self._count = 0
+
+    @property
+    def records_written(self) -> int:
+        return self._count
+
+    def write(self, instr: ChampSimInstr) -> None:
+        self._stream.write(encode_instr(instr))
+        self._count += 1
+
+    def write_all(self, instrs: Iterable[ChampSimInstr]) -> int:
+        written = 0
+        for instr in instrs:
+            self.write(instr)
+            written += 1
+        return written
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "ChampSimTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ChampSimTraceReader:
+    """Iterate :class:`ChampSimInstr` records out of a trace file."""
+
+    def __init__(self, source: Union[str, Path, BinaryIO]):
+        if isinstance(source, (str, Path)):
+            self._stream: BinaryIO = _open(source, "rb")
+            self._owns = True
+        else:
+            self._stream = source
+            self._owns = False
+
+    def __iter__(self) -> Iterator[ChampSimInstr]:
+        return self
+
+    def __next__(self) -> ChampSimInstr:
+        data = self._stream.read(RECORD_SIZE)
+        if not data:
+            raise StopIteration
+        if len(data) != RECORD_SIZE:
+            raise ChampSimTraceError("trailing partial record")
+        return decode_instr(data)
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "ChampSimTraceReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_champsim_trace(
+    instrs: Iterable[ChampSimInstr], destination: Union[str, Path, BinaryIO]
+) -> int:
+    """Write a whole trace; return the record count."""
+    with ChampSimTraceWriter(destination) as writer:
+        return writer.write_all(instrs)
+
+
+def read_champsim_trace(
+    source: Union[str, Path, BinaryIO], limit: Optional[int] = None
+) -> List[ChampSimInstr]:
+    """Read a whole trace (or first ``limit`` records) into a list."""
+    out: List[ChampSimInstr] = []
+    with ChampSimTraceReader(source) as reader:
+        for instr in reader:
+            out.append(instr)
+            if limit is not None and len(out) >= limit:
+                break
+    return out

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the ``cvp2champsim`` trace converter.
+
+One conversion code path serves both the *original* converter (whose
+design decisions — and bugs — the paper documents in Section 2) and the
+*improved* converter, selected by the :class:`Improvement` flag set.  The
+flag values and the named groups (``No_imp``, ``Memory_imps``,
+``Branch_imps``, ``All_imps``) mirror the paper artifact's command line.
+
+Typical use::
+
+    from repro.core import Improvement, Converter, convert_trace
+
+    instrs = convert_trace(cvp_records, improvements=Improvement.ALL)
+
+    converter = Converter(Improvement.BASE_UPDATE | Improvement.CALL_STACK)
+    for instr in converter.convert(cvp_records):
+        ...
+    print(converter.stats.base_updates_split)
+"""
+
+from repro.core.improvements import (
+    Improvement,
+    IMPROVEMENT_NAMES,
+    parse_improvements,
+    improvement_name,
+)
+from repro.core.convert import Converter, ConversionStats, convert_trace
+from repro.core.pipeline import convert_file, convert_suite, ConversionResult
+
+__all__ = [
+    "Improvement",
+    "IMPROVEMENT_NAMES",
+    "parse_improvements",
+    "improvement_name",
+    "Converter",
+    "ConversionStats",
+    "convert_trace",
+    "convert_file",
+    "convert_suite",
+    "ConversionResult",
+]

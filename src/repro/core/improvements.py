@@ -1,0 +1,101 @@
+"""The six converter improvements of the paper's Table 1, as a flag set.
+
+==================  ========  ====================================================
+Flag                Category  Paper description
+==================  ========  ====================================================
+``MEM_REGS``        Memory    convey all register writes of memory instructions
+``BASE_UPDATE``     Memory    base registers ready at ALU latency, not memory
+``MEM_FOOTPRINT``   Memory    access every cacheline the instruction touches
+``CALL_STACK``      Branch    fix the identification of returns
+``BRANCH_REGS``     Branch    convey the registers branches actually read
+``FLAG_REG``        Branch    flags as destination of destination-less ALU/FP ops
+==================  ========  ====================================================
+
+The named sets match the artifact's CLI: ``No_imp``, ``Memory_imps``,
+``Branch_imps``, ``All_imps`` plus the ``imp_*`` singletons.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class Improvement(enum.Flag):
+    """Toggleable conversion improvements (paper Table 1)."""
+
+    NONE = 0
+    MEM_REGS = enum.auto()
+    BASE_UPDATE = enum.auto()
+    MEM_FOOTPRINT = enum.auto()
+    CALL_STACK = enum.auto()
+    BRANCH_REGS = enum.auto()
+    FLAG_REG = enum.auto()
+
+    MEMORY = MEM_REGS | BASE_UPDATE | MEM_FOOTPRINT
+    BRANCH = CALL_STACK | BRANCH_REGS | FLAG_REG
+    ALL = MEMORY | BRANCH
+
+
+#: Artifact-CLI spelling of every selectable improvement set.
+IMPROVEMENT_NAMES: Dict[str, Improvement] = {
+    "No_imp": Improvement.NONE,
+    "imp_mem-regs": Improvement.MEM_REGS,
+    "imp_base-update": Improvement.BASE_UPDATE,
+    "imp_mem-footprint": Improvement.MEM_FOOTPRINT,
+    "imp_call-stack": Improvement.CALL_STACK,
+    "imp_branch-regs": Improvement.BRANCH_REGS,
+    "imp_flag-regs": Improvement.FLAG_REG,
+    "Memory_imps": Improvement.MEMORY,
+    "Branch_imps": Improvement.BRANCH,
+    "All_imps": Improvement.ALL,
+}
+
+_CANONICAL_NAME = {
+    Improvement.NONE: "No_imp",
+    Improvement.MEM_REGS: "imp_mem-regs",
+    Improvement.BASE_UPDATE: "imp_base-update",
+    Improvement.MEM_FOOTPRINT: "imp_mem-footprint",
+    Improvement.CALL_STACK: "imp_call-stack",
+    Improvement.BRANCH_REGS: "imp_branch-regs",
+    Improvement.FLAG_REG: "imp_flag-regs",
+    Improvement.MEMORY: "Memory_imps",
+    Improvement.BRANCH: "Branch_imps",
+    Improvement.ALL: "All_imps",
+}
+
+
+def parse_improvements(name: str) -> Improvement:
+    """Parse an artifact-CLI improvement name, case-insensitively.
+
+    Also accepts ``+``-joined combinations of the singleton names, e.g.
+    ``"imp_base-update+imp_call-stack"``.
+    """
+    lookup = {key.lower(): value for key, value in IMPROVEMENT_NAMES.items()}
+    combined = Improvement.NONE
+    for part in name.split("+"):
+        key = part.strip().lower()
+        if key not in lookup:
+            known = ", ".join(sorted(IMPROVEMENT_NAMES))
+            raise ValueError(f"unknown improvement {part!r}; known: {known}")
+        combined |= lookup[key]
+    return combined
+
+
+def improvement_name(improvements: Improvement) -> str:
+    """Canonical artifact-CLI name of an improvement set."""
+    if improvements in _CANONICAL_NAME:
+        return _CANONICAL_NAME[improvements]
+    parts = [
+        _CANONICAL_NAME[flag]
+        for flag in (
+            Improvement.MEM_REGS,
+            Improvement.BASE_UPDATE,
+            Improvement.MEM_FOOTPRINT,
+            Improvement.CALL_STACK,
+            Improvement.BRANCH_REGS,
+            Improvement.FLAG_REG,
+        )
+        if flag in improvements
+    ]
+    return "+".join(parts) if parts else "No_imp"

@@ -1,0 +1,94 @@
+"""File-to-file conversion driver (the ``repro-convert`` backend).
+
+Mirrors the artifact workflow::
+
+    ./cvp2champsim -i All_imps -t srv_0.gz > srv_0.champsimtrace
+
+but as a library function that returns the conversion statistics alongside
+the output path, so the experiment harness and the tests can assert on
+what the conversion actually did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.champsim.branch_info import BranchRules
+from repro.champsim.trace import ChampSimTraceWriter
+from repro.core.convert import ConversionStats, Converter
+from repro.core.improvements import Improvement
+from repro.cvp.reader import CvpTraceReader
+
+
+@dataclass(frozen=True)
+class ConversionResult:
+    """Outcome of one file conversion."""
+
+    source: Path
+    destination: Path
+    improvements: Improvement
+    #: ChampSim branch-deduction rules the output trace requires.
+    branch_rules: BranchRules
+    stats: ConversionStats
+
+
+def convert_file(
+    source: Union[str, Path],
+    destination: Union[str, Path],
+    improvements: Improvement = Improvement.NONE,
+) -> ConversionResult:
+    """Convert a CVP-1 trace file to a ChampSim trace file.
+
+    Compression is chosen by suffix on both ends (``.gz`` for CVP input,
+    ``.gz``/``.xz`` for ChampSim output).
+    """
+    source = Path(source)
+    destination = Path(destination)
+    converter = Converter(improvements)
+    with CvpTraceReader(source) as reader:
+        with ChampSimTraceWriter(destination) as writer:
+            writer.write_all(converter.convert(reader))
+    return ConversionResult(
+        source=source,
+        destination=destination,
+        improvements=improvements,
+        branch_rules=converter.required_branch_rules,
+        stats=converter.stats,
+    )
+
+
+def convert_suite(
+    suite: str,
+    output_dir: Union[str, Path],
+    improvements: Improvement = Improvement.NONE,
+    instructions: int = 20_000,
+    limit: Optional[int] = None,
+    stride: int = 1,
+) -> List[ConversionResult]:
+    """Generate-and-convert a whole named suite to disk.
+
+    The on-disk twin of the artifact's ``convert_traces_seq.sh``:
+    ``suite`` is ``"CVP1public"`` or ``"IPC1"``; each trace is synthesised,
+    written as ``<name>.cvp.gz`` and converted to
+    ``<name>.champsimtrace.gz`` under ``output_dir``.
+    """
+    from repro.cvp.writer import write_trace
+    from repro.synth.suite import cvp1_public_suite, ipc1_suite
+
+    suites = {"CVP1public": cvp1_public_suite, "IPC1": ipc1_suite}
+    if suite not in suites:
+        raise ValueError(f"unknown suite {suite!r}; known: {sorted(suites)}")
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    results: List[ConversionResult] = []
+    for name, records in suites[suite](
+        instructions=instructions, limit=limit, stride=stride
+    ):
+        cvp_path = output_dir / f"{name}.cvp.gz"
+        out_path = output_dir / f"{name}.champsimtrace.gz"
+        write_trace(records, cvp_path)
+        results.append(convert_file(cvp_path, out_path, improvements))
+    return results

@@ -1,0 +1,69 @@
+"""CVP-1 trace substrate.
+
+The first Championship Value Prediction (CVP-1, 2018) released hundreds of
+Aarch64 traces generated at Qualcomm.  This subpackage reimplements the trace
+format those traces use:
+
+- :mod:`repro.cvp.isa` — the instruction-class enumeration and the register
+  model the traces expose (general-purpose X0..X30, SP, and SIMD registers;
+  no flag register — a limitation the paper's ``flag-reg`` improvement works
+  around).
+- :mod:`repro.cvp.record` — :class:`CvpRecord`, one dynamic instruction.
+- :mod:`repro.cvp.encoding` — the variable-length binary on-disk encoding.
+- :mod:`repro.cvp.reader` / :mod:`repro.cvp.writer` — streaming I/O,
+  including transparent gzip, plus the register-value tracking the improved
+  converter's addressing-mode heuristic needs.
+- :mod:`repro.cvp.analysis` — trace characterisation used by the experiment
+  harness (instruction mix, base-update fraction, X30 usage, ...).
+"""
+
+from repro.cvp.isa import (
+    InstClass,
+    LINK_REGISTER,
+    STACK_POINTER,
+    FIRST_VEC_REGISTER,
+    NUM_REGISTERS,
+    is_branch_class,
+    is_memory_class,
+    is_unconditional_branch_class,
+)
+from repro.cvp.record import CvpRecord
+from repro.cvp.addrmode import (
+    AddressingInfo,
+    AddressingMode,
+    cachelines_touched,
+    infer_addressing,
+    is_dc_zva,
+    total_access_size,
+)
+from repro.cvp.encoding import encode_record, decode_record, TraceFormatError
+from repro.cvp.reader import CvpTraceReader, read_trace
+from repro.cvp.writer import CvpTraceWriter, write_trace
+from repro.cvp.analysis import TraceCharacterization, characterize
+
+__all__ = [
+    "InstClass",
+    "LINK_REGISTER",
+    "STACK_POINTER",
+    "FIRST_VEC_REGISTER",
+    "NUM_REGISTERS",
+    "is_branch_class",
+    "is_memory_class",
+    "is_unconditional_branch_class",
+    "CvpRecord",
+    "AddressingInfo",
+    "AddressingMode",
+    "cachelines_touched",
+    "infer_addressing",
+    "is_dc_zva",
+    "total_access_size",
+    "encode_record",
+    "decode_record",
+    "TraceFormatError",
+    "CvpTraceReader",
+    "read_trace",
+    "CvpTraceWriter",
+    "write_trace",
+    "TraceCharacterization",
+    "characterize",
+]

@@ -1,0 +1,155 @@
+"""Trace characterisation.
+
+The experiment harness sorts and annotates traces by structural features —
+branch MPKI drivers, fraction of base-update loads (Figure 4's x-axis),
+X30-read-and-write branches (the ``call-stack`` misclassification
+candidates, Figure 5), zero-destination compares (``flag-reg``), and so
+on.  :func:`characterize` computes all of them in one streaming pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from repro.cvp.addrmode import AddressingMode, cachelines_touched, infer_addressing
+from repro.cvp.isa import LINK_REGISTER, InstClass
+from repro.cvp.reader import CvpTraceReader
+from repro.cvp.record import CvpRecord
+
+
+@dataclass
+class TraceCharacterization:
+    """Aggregate structural statistics of one CVP-1 trace."""
+
+    total_instructions: int = 0
+    class_counts: Dict[InstClass, int] = field(default_factory=dict)
+
+    #: Branches, by taken/not-taken.
+    taken_branches: int = 0
+    #: Conditional branches carrying source registers (cb(n)z / tb(n)z
+    #: style); the rest implicitly read the — untraced — flag register.
+    cond_branches_with_sources: int = 0
+    #: Branches that read X30 and write no register: true returns.
+    returns: int = 0
+    #: Branches that read *and write* X30: the calls the original converter
+    #: misclassifies as returns (paper Section 3.2.1).
+    x30_read_write_branches: int = 0
+    #: Branches that write X30 (calls).
+    calls: int = 0
+    #: ALU/FP instructions with no destination register (compares and the
+    #: like) — targets of the ``flag-reg`` improvement.
+    zero_dst_alu_fp: int = 0
+    #: Memory instructions with no destination register (prefetches, plain
+    #: stores) — the original converter forged an X0 destination for them.
+    zero_dst_memory: int = 0
+    #: Loads with two or more destination registers (pairs, vectors,
+    #: base updates).
+    multi_dst_loads: int = 0
+    #: Loads performing a base-register update (pre- or post-index).
+    base_update_loads: int = 0
+    #: Stores performing a base-register update.
+    base_update_stores: int = 0
+    #: Pre-indexing share of the base updates.
+    pre_index_updates: int = 0
+    #: Memory accesses whose footprint spans two cachelines.
+    line_crossing_accesses: int = 0
+    #: Static code footprint (distinct instruction addresses).
+    unique_pcs: int = 0
+    #: Data footprint (distinct data cachelines touched).
+    unique_data_lines: int = 0
+
+    _pcs: Set[int] = field(default_factory=set, repr=False)
+    _lines: Set[int] = field(default_factory=set, repr=False)
+
+    @property
+    def branches(self) -> int:
+        """Total dynamic branch count."""
+        return sum(
+            self.class_counts.get(cls, 0)
+            for cls in (
+                InstClass.COND_BRANCH,
+                InstClass.UNCOND_DIRECT_BRANCH,
+                InstClass.UNCOND_INDIRECT_BRANCH,
+            )
+        )
+
+    @property
+    def loads(self) -> int:
+        return self.class_counts.get(InstClass.LOAD, 0)
+
+    @property
+    def stores(self) -> int:
+        return self.class_counts.get(InstClass.STORE, 0)
+
+    def fraction(self, count: int) -> float:
+        """``count`` as a fraction of the dynamic instruction count."""
+        if self.total_instructions == 0:
+            return 0.0
+        return count / self.total_instructions
+
+    @property
+    def base_update_load_fraction(self) -> float:
+        """Loads with base update / all instructions (Figure 4 x-axis)."""
+        return self.fraction(self.base_update_loads)
+
+    def observe(self, record: CvpRecord, registers=None) -> None:
+        """Fold one record into the statistics."""
+        self.total_instructions += 1
+        cls = record.inst_class
+        self.class_counts[cls] = self.class_counts.get(cls, 0) + 1
+        self._pcs.add(record.pc)
+
+        if record.is_branch:
+            if record.branch_taken:
+                self.taken_branches += 1
+            reads_x30 = LINK_REGISTER in record.src_regs
+            writes_x30 = LINK_REGISTER in record.dst_regs
+            if writes_x30:
+                self.calls += 1
+            if reads_x30 and writes_x30:
+                self.x30_read_write_branches += 1
+            elif reads_x30 and not record.dst_regs:
+                self.returns += 1
+            if cls is InstClass.COND_BRANCH and record.src_regs:
+                self.cond_branches_with_sources += 1
+            return
+
+        if cls in (InstClass.ALU, InstClass.SLOW_ALU, InstClass.FP):
+            if not record.dst_regs:
+                self.zero_dst_alu_fp += 1
+            return
+
+        if record.is_memory:
+            if not record.dst_regs:
+                self.zero_dst_memory += 1
+            info = infer_addressing(record, registers)
+            if record.is_load and len(record.dst_regs) >= 2:
+                self.multi_dst_loads += 1
+            if info.is_base_update:
+                if record.is_load:
+                    self.base_update_loads += 1
+                else:
+                    self.base_update_stores += 1
+                if info.mode is AddressingMode.PRE_INDEX:
+                    self.pre_index_updates += 1
+            lines = cachelines_touched(record, info, registers)
+            if len(lines) == 2:
+                self.line_crossing_accesses += 1
+            for line in lines:
+                self._lines.add(line)
+
+    def finalize(self) -> "TraceCharacterization":
+        """Freeze set-based footprint counters into plain integers."""
+        self.unique_pcs = len(self._pcs)
+        self.unique_data_lines = len(self._lines)
+        return self
+
+
+def characterize(source: Iterable[CvpRecord]) -> TraceCharacterization:
+    """Characterise a trace given records, a path, or a file object."""
+    stats = TraceCharacterization()
+    reader = source if isinstance(source, CvpTraceReader) else CvpTraceReader(source)
+    for record in reader.records_with_registers():
+        stats.observe(record, reader.registers)
+    return stats.finalize()

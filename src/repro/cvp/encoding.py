@@ -1,0 +1,146 @@
+"""Bit-exact binary encoding of CVP-1 trace records.
+
+The on-disk layout mirrors the format the CVP-1 infrastructure reads:
+
+====================  =======  ==========================================
+Field                 Bytes    Presence
+====================  =======  ==========================================
+PC                    8        always
+instruction class     1        always
+branch taken          1        branch classes only
+branch target         8        taken branches only
+effective address     8        loads and stores only
+access size           1        loads and stores only
+# source registers    1        always
+source registers      1 each
+# destination regs    1        always
+destination regs      1 each
+output values         8 / 16   8 bytes per integer register, 16 bytes per
+                               SIMD register (>= 32), one per destination
+====================  =======  ==========================================
+
+All integers are little-endian and unsigned.  The format is self-delimiting
+per record, so a trace is just the concatenation of records.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Optional
+
+from repro.cvp.isa import (
+    FIRST_VEC_REGISTER,
+    InstClass,
+    is_branch_class,
+    is_memory_class,
+)
+from repro.cvp.record import CvpRecord
+
+_U8 = struct.Struct("<B")
+_U64 = struct.Struct("<Q")
+
+_U64_MASK = (1 << 64) - 1
+_U128_MASK = (1 << 128) - 1
+
+
+class TraceFormatError(Exception):
+    """Raised when a byte stream does not decode as a CVP-1 trace."""
+
+
+def encode_record(record: CvpRecord) -> bytes:
+    """Serialise one record to its on-disk byte string."""
+    out = io.BytesIO()
+    out.write(_U64.pack(record.pc & _U64_MASK))
+    out.write(_U8.pack(int(record.inst_class)))
+    if record.is_branch:
+        out.write(_U8.pack(1 if record.branch_taken else 0))
+        if record.branch_taken:
+            out.write(_U64.pack((record.branch_target or 0) & _U64_MASK))
+    if record.is_memory:
+        out.write(_U64.pack((record.mem_address or 0) & _U64_MASK))
+        out.write(_U8.pack(record.mem_size))
+    out.write(_U8.pack(len(record.src_regs)))
+    for reg in record.src_regs:
+        out.write(_U8.pack(reg))
+    out.write(_U8.pack(len(record.dst_regs)))
+    for reg in record.dst_regs:
+        out.write(_U8.pack(reg))
+    for reg, value in zip(record.dst_regs, record.dst_values):
+        if reg >= FIRST_VEC_REGISTER:
+            value &= _U128_MASK
+            out.write(_U64.pack(value & _U64_MASK))
+            out.write(_U64.pack(value >> 64))
+        else:
+            out.write(_U64.pack(value & _U64_MASK))
+    return out.getvalue()
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise TraceFormatError(
+            f"truncated record: wanted {count} bytes, got {len(data)}"
+        )
+    return data
+
+
+def decode_record(stream: BinaryIO) -> Optional[CvpRecord]:
+    """Decode the next record from ``stream``.
+
+    Returns None at a clean end of stream; raises
+    :class:`TraceFormatError` on a mid-record truncation or an invalid
+    instruction class.
+    """
+    head = stream.read(8)
+    if not head:
+        return None
+    if len(head) != 8:
+        raise TraceFormatError("truncated record: partial PC")
+    pc = _U64.unpack(head)[0]
+
+    raw_class = _U8.unpack(_read_exact(stream, 1))[0]
+    try:
+        inst_class = InstClass(raw_class)
+    except ValueError as exc:
+        raise TraceFormatError(f"invalid instruction class {raw_class}") from exc
+
+    branch_taken = False
+    branch_target: Optional[int] = None
+    if is_branch_class(inst_class):
+        branch_taken = _U8.unpack(_read_exact(stream, 1))[0] != 0
+        if branch_taken:
+            branch_target = _U64.unpack(_read_exact(stream, 8))[0]
+
+    mem_address: Optional[int] = None
+    mem_size = 0
+    if is_memory_class(inst_class):
+        mem_address = _U64.unpack(_read_exact(stream, 8))[0]
+        mem_size = _U8.unpack(_read_exact(stream, 1))[0]
+
+    num_src = _U8.unpack(_read_exact(stream, 1))[0]
+    src_regs = tuple(_read_exact(stream, num_src)) if num_src else ()
+
+    num_dst = _U8.unpack(_read_exact(stream, 1))[0]
+    dst_regs = tuple(_read_exact(stream, num_dst)) if num_dst else ()
+
+    dst_values = []
+    for reg in dst_regs:
+        lo = _U64.unpack(_read_exact(stream, 8))[0]
+        if reg >= FIRST_VEC_REGISTER:
+            hi = _U64.unpack(_read_exact(stream, 8))[0]
+            dst_values.append(lo | (hi << 64))
+        else:
+            dst_values.append(lo)
+
+    return CvpRecord(
+        pc=pc,
+        inst_class=inst_class,
+        src_regs=src_regs,
+        dst_regs=dst_regs,
+        dst_values=tuple(dst_values),
+        mem_address=mem_address,
+        mem_size=mem_size,
+        branch_taken=branch_taken,
+        branch_target=branch_target,
+    )

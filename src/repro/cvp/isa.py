@@ -1,0 +1,93 @@
+"""Instruction classes and register model of the CVP-1 traces.
+
+The CVP-1 traces classify every dynamic instruction into one of nine coarse
+classes (the exact opcode is anonymised away).  Registers are numbered
+0..63: 0..31 are the general-purpose/integer file (X0..X30 plus SP) and
+32..63 are the SIMD/FP file.  Special-purpose registers — most importantly
+the condition flags — are *not* represented in the traces, which is the
+root cause the paper's ``flag-reg`` improvement addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstClass(enum.IntEnum):
+    """Coarse instruction classification used by the CVP-1 trace format."""
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    COND_BRANCH = 3
+    UNCOND_DIRECT_BRANCH = 4
+    UNCOND_INDIRECT_BRANCH = 5
+    FP = 6
+    SLOW_ALU = 7
+    UNDEF = 8
+
+
+#: X30, the Aarch64 link register.  Branch-and-link writes the return
+#: address here; ``RET`` reads it.  The ``call-stack`` improvement hinges on
+#: how branches use this register.
+LINK_REGISTER = 30
+
+#: Register number the traces use for the stack pointer.
+STACK_POINTER = 31
+
+#: Registers >= this number belong to the SIMD/FP file.  Their output
+#: values occupy 16 bytes in the trace instead of 8.
+FIRST_VEC_REGISTER = 32
+
+#: Total number of architectural registers representable in a trace.
+NUM_REGISTERS = 64
+
+#: Maximum bytes a single register transfer can move (a SIMD Q register).
+MAX_TRANSFER_SIZE = 16
+
+#: Cacheline size assumed throughout (bytes).
+CACHELINE_SIZE = 64
+
+_BRANCH_CLASSES = frozenset(
+    {
+        InstClass.COND_BRANCH,
+        InstClass.UNCOND_DIRECT_BRANCH,
+        InstClass.UNCOND_INDIRECT_BRANCH,
+    }
+)
+
+_UNCOND_BRANCH_CLASSES = frozenset(
+    {InstClass.UNCOND_DIRECT_BRANCH, InstClass.UNCOND_INDIRECT_BRANCH}
+)
+
+_MEMORY_CLASSES = frozenset({InstClass.LOAD, InstClass.STORE})
+
+
+def is_branch_class(cls: InstClass) -> bool:
+    """Return True for the three branch classes the traces distinguish."""
+    return cls in _BRANCH_CLASSES
+
+
+def is_unconditional_branch_class(cls: InstClass) -> bool:
+    """Return True for unconditional direct/indirect branches."""
+    return cls in _UNCOND_BRANCH_CLASSES
+
+
+def is_memory_class(cls: InstClass) -> bool:
+    """Return True for loads and stores."""
+    return cls in _MEMORY_CLASSES
+
+
+def is_vec_register(reg: int) -> bool:
+    """Return True if ``reg`` lives in the SIMD/FP file."""
+    return FIRST_VEC_REGISTER <= reg < NUM_REGISTERS
+
+
+def validate_register(reg: int) -> int:
+    """Validate an architectural register number; return it unchanged.
+
+    Raises ValueError outside the 0..63 range the trace format encodes.
+    """
+    if not 0 <= reg < NUM_REGISTERS:
+        raise ValueError(f"register number {reg} outside 0..{NUM_REGISTERS - 1}")
+    return reg

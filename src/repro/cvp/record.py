@@ -1,0 +1,118 @@
+"""The :class:`CvpRecord` — one dynamic instruction of a CVP-1 trace.
+
+A CVP-1 trace is a flat stream of these records.  Compared to a full
+architectural trace the format is deliberately lossy (the traces were
+anonymised before release):
+
+- only the coarse :class:`~repro.cvp.isa.InstClass` is kept, not the opcode;
+- only general-purpose and SIMD registers appear — special-purpose
+  registers such as the condition flags are stripped;
+- for memory instructions a *single* effective address and the transfer
+  size *of one register* are stored, even when the instruction moves
+  multiple registers (load pair, vector loads) or updates its base
+  register.  The addressing mode is not recorded.
+
+These limitations are exactly what the paper's improved converter has to
+work around (Sections 3.1 and 3.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cvp.isa import (
+    InstClass,
+    is_branch_class,
+    is_memory_class,
+    validate_register,
+)
+
+
+@dataclass
+class CvpRecord:
+    """One dynamic instruction as stored in a CVP-1 trace.
+
+    Attributes:
+        pc: Instruction address.
+        inst_class: Coarse instruction class.
+        src_regs: Architectural source registers, in trace order.
+        dst_regs: Architectural destination registers, in trace order.
+        dst_values: Value written to each destination register, parallel to
+            ``dst_regs``.  SIMD registers may hold up to 128-bit values.
+        mem_address: Effective address, for loads and stores only.
+        mem_size: Transfer size in bytes *for one register* (the format
+            cannot express the total footprint of multi-register accesses).
+        branch_taken: Whether a branch was taken.  Meaningful only for
+            branch classes; unconditional branches are always taken.
+        branch_target: Target address of a taken branch.
+    """
+
+    pc: int
+    inst_class: InstClass
+    src_regs: Tuple[int, ...] = ()
+    dst_regs: Tuple[int, ...] = ()
+    dst_values: Tuple[int, ...] = ()
+    mem_address: Optional[int] = None
+    mem_size: int = 0
+    branch_taken: bool = False
+    branch_target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.src_regs = tuple(self.src_regs)
+        self.dst_regs = tuple(self.dst_regs)
+        self.dst_values = tuple(self.dst_values)
+        for reg in self.src_regs:
+            validate_register(reg)
+        for reg in self.dst_regs:
+            validate_register(reg)
+        if len(self.dst_values) != len(self.dst_regs):
+            raise ValueError(
+                f"{len(self.dst_regs)} destination registers but "
+                f"{len(self.dst_values)} output values"
+            )
+        if self.is_memory and self.mem_address is None:
+            raise ValueError(f"{self.inst_class.name} record without mem_address")
+        if not self.is_memory and self.mem_address is not None:
+            raise ValueError(
+                f"{self.inst_class.name} record carries a memory address"
+            )
+        if self.branch_taken and not self.is_branch:
+            raise ValueError(f"{self.inst_class.name} record marked taken")
+        if self.branch_taken and self.branch_target is None:
+            raise ValueError("taken branch without a target")
+
+    @property
+    def is_branch(self) -> bool:
+        """True for the three branch classes."""
+        return is_branch_class(self.inst_class)
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return is_memory_class(self.inst_class)
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst_class is InstClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst_class is InstClass.STORE
+
+    def value_of(self, reg: int) -> Optional[int]:
+        """Return the value this record writes to ``reg``, if any."""
+        for dst, value in zip(self.dst_regs, self.dst_values):
+            if dst == reg:
+                return value
+        return None
+
+    def next_pc(self) -> int:
+        """Address of the next instruction in program order.
+
+        Taken branches continue at their target; everything else falls
+        through to ``pc + 4`` (Aarch64 instructions are 4 bytes).
+        """
+        if self.branch_taken and self.branch_target is not None:
+            return self.branch_target
+        return self.pc + 4

@@ -1,0 +1,73 @@
+"""Streaming writer for CVP-1 traces (optionally gzip-compressed)."""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import BinaryIO, Iterable, Union
+
+from repro.cvp.encoding import encode_record
+from repro.cvp.record import CvpRecord
+
+
+def _open_for_write(path: Union[str, Path]) -> BinaryIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "wb")  # type: ignore[return-value]
+    return open(path, "wb")
+
+
+class CvpTraceWriter:
+    """Write :class:`CvpRecord` streams to a file or file-like object.
+
+    Usable as a context manager::
+
+        with CvpTraceWriter("trace.gz") as writer:
+            for record in records:
+                writer.write(record)
+    """
+
+    def __init__(self, destination: Union[str, Path, BinaryIO]):
+        if isinstance(destination, (str, Path)):
+            self._stream: BinaryIO = _open_for_write(destination)
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+        self._count = 0
+
+    @property
+    def records_written(self) -> int:
+        """Number of records written so far."""
+        return self._count
+
+    def write(self, record: CvpRecord) -> None:
+        """Append one record to the trace."""
+        self._stream.write(encode_record(record))
+        self._count += 1
+
+    def write_all(self, records: Iterable[CvpRecord]) -> int:
+        """Append every record of ``records``; return how many."""
+        written = 0
+        for record in records:
+            self.write(record)
+            written += 1
+        return written
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "CvpTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_trace(
+    records: Iterable[CvpRecord], destination: Union[str, Path, BinaryIO]
+) -> int:
+    """Write ``records`` to ``destination``; return the record count."""
+    with CvpTraceWriter(destination) as writer:
+        return writer.write_all(records)

@@ -1,0 +1,43 @@
+"""The CVP-1 championship simulator substrate.
+
+The CVP-1 traces exist because of the first Championship Value Prediction:
+contestants plugged value predictors into a simple simulator that walks a
+trace, asks for a prediction of every instruction's output value, and
+models the speedup of correct predictions.  This subpackage reimplements
+that infrastructure:
+
+- :mod:`repro.cvpsim.predictors` — classic value predictors (last value,
+  stride, finite context method, and a small EVES-style composite);
+- :mod:`repro.cvpsim.simulator` — the championship harness: accuracy,
+  coverage, and a simplified execution-time model.
+
+It also reproduces the *fidelity flaw* the paper's introduction documents
+(and which CVP-2 patched): the CVP-1 trace format attaches latency to the
+*instruction*, not to each output register, so the updated base register
+of a pre/post-indexed load appears to become ready only when the memory
+access completes.  :class:`~repro.cvpsim.simulator.CvpSimulator` models
+both behaviours (``base_update_fix`` off = CVP-1, on = CVP-2), letting
+the repository quantify the very inaccuracy that motivated the paper's
+``base-update`` converter improvement from the value-prediction side.
+"""
+
+from repro.cvpsim.predictors import (
+    LastValuePredictor,
+    StridePredictor,
+    ContextPredictor,
+    CompositePredictor,
+    NoPredictor,
+    make_value_predictor,
+)
+from repro.cvpsim.simulator import CvpSimulator, CvpSimStats
+
+__all__ = [
+    "LastValuePredictor",
+    "StridePredictor",
+    "ContextPredictor",
+    "CompositePredictor",
+    "NoPredictor",
+    "make_value_predictor",
+    "CvpSimulator",
+    "CvpSimStats",
+]

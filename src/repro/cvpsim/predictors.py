@@ -1,0 +1,214 @@
+"""Value predictors in the CVP-1 mould.
+
+The championship interface is per-instruction: the predictor sees the PC
+(and optionally the instruction class), may return a predicted 64-bit
+output value with a confidence, and is trained with the actual value at
+commit.  Mispredicting is costly (a pipeline flush in the championship's
+model), so predictors only speak when confident.
+
+Implemented predictors:
+
+- :class:`LastValuePredictor` — predict the previous value of the same
+  static instruction;
+- :class:`StridePredictor` — predict ``last + stride`` once the stride
+  repeats (catches induction variables and base-update pointers);
+- :class:`ContextPredictor` — an order-N finite-context-method (FCM)
+  predictor hashing the last values' history;
+- :class:`CompositePredictor` — an EVES-flavoured composite that asks the
+  stride component first and falls back to the context component, each
+  gated by its own confidence.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+_U64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A speculative value plus the predictor's confidence (0..15)."""
+
+    value: int
+    confidence: int
+
+
+class ValuePredictor(abc.ABC):
+    """The championship predictor interface."""
+
+    #: Confidence needed before the simulator uses the prediction.
+    CONFIDENCE_THRESHOLD = 8
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> Optional[Prediction]:
+        """Predicted output value for the instruction at ``pc``."""
+
+    @abc.abstractmethod
+    def train(self, pc: int, actual: int) -> None:
+        """Commit-time training with the actual produced value."""
+
+
+class NoPredictor(ValuePredictor):
+    """Baseline: never predicts."""
+
+    def predict(self, pc: int) -> Optional[Prediction]:
+        return None
+
+    def train(self, pc: int, actual: int) -> None:
+        pass
+
+
+class LastValuePredictor(ValuePredictor):
+    """Predict the previous value; confidence saturates on repeats."""
+
+    def __init__(self, table_size: int = 8192):
+        self._table: OrderedDict = OrderedDict()
+        self._table_size = table_size
+
+    def predict(self, pc: int) -> Optional[Prediction]:
+        entry = self._table.get(pc)
+        if entry is None:
+            return None
+        value, confidence = entry
+        return Prediction(value=value, confidence=confidence)
+
+    def train(self, pc: int, actual: int) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self._table_size:
+                self._table.popitem(last=False)
+            self._table[pc] = [actual, 0]
+            return
+        self._table.move_to_end(pc)
+        if entry[0] == actual:
+            entry[1] = min(15, entry[1] + 1)
+        else:
+            entry[0] = actual
+            entry[1] = 0
+
+
+class StridePredictor(ValuePredictor):
+    """Predict ``last + stride`` with stride-confirmation confidence.
+
+    This is the predictor class that covers base-update pointers and loop
+    induction variables — the values whose *latency* the CVP-1 simulator
+    mis-modelled (paper introduction).
+    """
+
+    def __init__(self, table_size: int = 8192):
+        self._table: OrderedDict = OrderedDict()
+        self._table_size = table_size
+
+    def predict(self, pc: int) -> Optional[Prediction]:
+        entry = self._table.get(pc)
+        if entry is None:
+            return None
+        last, stride, confidence = entry
+        return Prediction(value=(last + stride) & _U64, confidence=confidence)
+
+    def train(self, pc: int, actual: int) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self._table_size:
+                self._table.popitem(last=False)
+            self._table[pc] = [actual, 0, 0]
+            return
+        self._table.move_to_end(pc)
+        last, stride, confidence = entry
+        new_stride = (actual - last) & _U64
+        if new_stride == stride:
+            confidence = min(15, confidence + 1)
+        else:
+            confidence = 0
+        entry[0], entry[1], entry[2] = actual, new_stride, confidence
+
+
+class ContextPredictor(ValuePredictor):
+    """Order-N finite context method: value history hash → next value."""
+
+    def __init__(self, order: int = 4, table_size: int = 16384):
+        self._order = order
+        #: pc -> rolling signature of the last N values
+        self._signatures: OrderedDict = OrderedDict()
+        #: (pc, signature) -> [value, confidence]
+        self._values: OrderedDict = OrderedDict()
+        self._table_size = table_size
+
+    def _signature(self, pc: int) -> int:
+        return self._signatures.get(pc, 0)
+
+    def predict(self, pc: int) -> Optional[Prediction]:
+        key = (pc, self._signature(pc))
+        entry = self._values.get(key)
+        if entry is None:
+            return None
+        return Prediction(value=entry[0], confidence=entry[1])
+
+    def train(self, pc: int, actual: int) -> None:
+        signature = self._signature(pc)
+        key = (pc, signature)
+        entry = self._values.get(key)
+        if entry is None:
+            if len(self._values) >= self._table_size:
+                self._values.popitem(last=False)
+            self._values[key] = [actual, 0]
+        else:
+            self._values.move_to_end(key)
+            if entry[0] == actual:
+                entry[1] = min(15, entry[1] + 1)
+            else:
+                entry[0] = actual
+                entry[1] = 0
+        # Roll the signature (shift-xor over the value's low bits).
+        rolled = ((signature << 7) ^ (actual & 0xFFFF) ^ (actual >> 16 & 0xFF)) & (
+            (1 << (7 * self._order)) - 1
+        )
+        if pc not in self._signatures and len(self._signatures) >= self._table_size:
+            self._signatures.popitem(last=False)
+        self._signatures[pc] = rolled
+        self._signatures.move_to_end(pc)
+
+
+class CompositePredictor(ValuePredictor):
+    """EVES-flavoured composite: stride first, context as fallback."""
+
+    def __init__(self):
+        self.stride = StridePredictor()
+        self.context = ContextPredictor()
+
+    def predict(self, pc: int) -> Optional[Prediction]:
+        stride = self.stride.predict(pc)
+        if stride is not None and stride.confidence >= self.CONFIDENCE_THRESHOLD:
+            return stride
+        context = self.context.predict(pc)
+        if context is not None and context.confidence >= self.CONFIDENCE_THRESHOLD:
+            return context
+        # Neither confident: surface the stronger hint (for statistics).
+        candidates = [p for p in (stride, context) if p is not None]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda p: p.confidence)
+
+    def train(self, pc: int, actual: int) -> None:
+        self.stride.train(pc, actual)
+        self.context.train(pc, actual)
+
+
+def make_value_predictor(name: str) -> ValuePredictor:
+    """Build a value predictor from its registry name."""
+    registry = {
+        "none": NoPredictor,
+        "last-value": LastValuePredictor,
+        "stride": StridePredictor,
+        "context": ContextPredictor,
+        "composite": CompositePredictor,
+    }
+    if name not in registry:
+        raise ValueError(
+            f"unknown value predictor {name!r}; known: {sorted(registry)}"
+        )
+    return registry[name]()

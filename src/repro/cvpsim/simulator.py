@@ -1,0 +1,222 @@
+"""A simplified CVP-1 championship simulator.
+
+Walks CVP-1 records directly (no conversion) with a dataflow timing model
+in the style of the championship infrastructure: a fetch-width-limited
+in-order front end, a dependency-driven out-of-order window, per-class
+execution latencies, a small data cache for loads, and a value predictor
+consulted for every value-producing instruction.
+
+Two fidelity knobs mirror the history the paper recounts:
+
+- ``base_update_fix`` — off reproduces the CVP-1 simulator's flaw (every
+  output register of a load becomes ready when the *memory access*
+  completes, including an updated base register); on applies the CVP-2
+  patch (base-register outputs are ready at ALU latency).
+- value prediction breaks dependences when a confident prediction is
+  correct, and costs a flush when a confident prediction is wrong —
+  the championship's figure of merit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.cvp.addrmode import infer_addressing
+from repro.cvp.isa import InstClass
+from repro.cvp.reader import CvpTraceReader
+from repro.cvp.record import CvpRecord
+from repro.cvpsim.predictors import NoPredictor, ValuePredictor
+from repro.sim.cache.cache import Cache
+
+
+@dataclass
+class CvpSimStats:
+    """Championship statistics."""
+
+    instructions: int = 0
+    cycles: int = 0
+
+    #: Value-producing instructions eligible for prediction.
+    eligible: int = 0
+    #: Predictions issued above the confidence threshold.
+    confident: int = 0
+    correct: int = 0
+    incorrect: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def coverage(self) -> float:
+        """Confident predictions / eligible instructions."""
+        if self.eligible == 0:
+            return 0.0
+        return self.confident / self.eligible
+
+    @property
+    def accuracy(self) -> float:
+        """Correct / confident predictions."""
+        if self.confident == 0:
+            return 0.0
+        return self.correct / self.confident
+
+    def summary(self) -> str:
+        return (
+            f"instructions: {self.instructions}\n"
+            f"cycles:       {self.cycles}\n"
+            f"IPC:          {self.ipc:.3f}\n"
+            f"VP coverage:  {100 * self.coverage:.1f}%  "
+            f"accuracy: {100 * self.accuracy:.1f}%  "
+            f"(+{self.correct} correct / -{self.incorrect} flushes)"
+        )
+
+
+#: Execution latency per CVP-1 instruction class (loads add cache time).
+_CLASS_LATENCY = {
+    InstClass.ALU: 1,
+    InstClass.SLOW_ALU: 4,
+    InstClass.FP: 3,
+    InstClass.LOAD: 0,  # cache latency added separately
+    InstClass.STORE: 1,
+    InstClass.COND_BRANCH: 1,
+    InstClass.UNCOND_DIRECT_BRANCH: 1,
+    InstClass.UNCOND_INDIRECT_BRANCH: 1,
+    InstClass.UNDEF: 1,
+}
+
+
+class CvpSimulator:
+    """The championship harness.
+
+    Args:
+        predictor: The value predictor under test (default: none).
+        base_update_fix: Apply the CVP-2 latency patch for base-register
+            outputs of memory instructions.
+        fetch_width: Instructions fetched per cycle.
+        window: Dependency window (instructions in flight).
+        flush_penalty: Cycles lost per value misprediction.
+    """
+
+    def __init__(
+        self,
+        predictor: Optional[ValuePredictor] = None,
+        base_update_fix: bool = False,
+        fetch_width: int = 8,
+        window: int = 256,
+        flush_penalty: int = 12,
+        l1d_latency: int = 5,
+        dram_latency: int = 150,
+    ):
+        self.predictor = predictor or NoPredictor()
+        self.base_update_fix = base_update_fix
+        self.fetch_width = fetch_width
+        self.window = window
+        self.flush_penalty = flush_penalty
+        self.dram_latency = dram_latency
+        self._l1d = Cache(48 * 1024, 12, l1d_latency, name="L1D")
+        self._l2 = Cache(1024 * 1024, 16, 20, name="L2")
+
+    def _load_latency(self, address: int) -> int:
+        if self._l1d.lookup(address):
+            return self._l1d.latency
+        if self._l2.lookup(address):
+            self._l1d.fill(address)
+            return self._l2.latency
+        self._l2.fill(address)
+        self._l1d.fill(address)
+        return self.dram_latency
+
+    def run(self, records: Iterable[CvpRecord]) -> CvpSimStats:
+        """Simulate a trace; return championship statistics."""
+        stats = CvpSimStats()
+        predictor = self.predictor
+        threshold = predictor.CONFIDENCE_THRESHOLD
+        reg_ready: Dict[int, int] = {}
+        window_retires: list = []
+
+        fetch_cycle = 0
+        fetched_in_cycle = 0
+        last_complete = 0
+
+        reader = (
+            records
+            if isinstance(records, CvpTraceReader)
+            else CvpTraceReader(records)
+        )
+        for index, record in enumerate(reader):
+            # ------------------------------------------------ front end
+            fetched_in_cycle += 1
+            if fetched_in_cycle > self.fetch_width:
+                fetch_cycle += 1
+                fetched_in_cycle = 1
+            issue_floor = fetch_cycle
+            if len(window_retires) >= self.window:
+                issue_floor = max(issue_floor, window_retires[index % self.window])
+
+            # ------------------------------------------- value predict
+            prediction = None
+            predicted_correct = False
+            primary_value: Optional[int] = None
+            if record.dst_regs:
+                stats.eligible += 1
+                primary_value = record.dst_values[0]
+                prediction = predictor.predict(record.pc)
+                if prediction is not None and prediction.confidence >= threshold:
+                    stats.confident += 1
+                    if prediction.value == primary_value:
+                        predicted_correct = True
+                        stats.correct += 1
+                    else:
+                        stats.incorrect += 1
+                        fetch_cycle += self.flush_penalty
+
+            # ------------------------------------------------- execute
+            ready = issue_floor
+            for reg in record.src_regs:
+                t = reg_ready.get(reg, 0)
+                if t > ready:
+                    ready = t
+            latency = _CLASS_LATENCY[record.inst_class]
+            if record.is_load:
+                latency += self._load_latency(record.mem_address or 0)
+            elif record.is_store:
+                self._load_latency(record.mem_address or 0)
+            complete = ready + max(1, latency)
+
+            # -------------------------------------------- write back
+            base_reg = None
+            if self.base_update_fix and record.is_memory:
+                info = infer_addressing(record, reader.registers)
+                if info.is_base_update:
+                    base_reg = info.base_reg
+            for position, reg in enumerate(record.dst_regs):
+                if predicted_correct and position == 0:
+                    # A correct confident prediction makes the value
+                    # available as soon as the instruction issues.
+                    reg_ready[reg] = issue_floor
+                elif reg == base_reg:
+                    # CVP-2 patch: the base register is produced by the
+                    # address ALU, not by the memory access.
+                    reg_ready[reg] = ready + 1
+                else:
+                    reg_ready[reg] = complete
+            if primary_value is not None:
+                predictor.train(record.pc, primary_value)
+
+            # ---------------------------------------------- retire
+            if complete > last_complete:
+                last_complete = complete
+            if len(window_retires) < self.window:
+                window_retires.append(complete)
+            else:
+                window_retires[index % self.window] = complete
+
+            stats.instructions += 1
+            reader.commit(record)
+
+        stats.cycles = max(1, last_complete)
+        return stats

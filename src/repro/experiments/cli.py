@@ -1,0 +1,94 @@
+"""``repro-experiment`` — regenerate the paper's figures and tables.
+
+Usage::
+
+    repro-experiment fig1                 # quick sampled run
+    repro-experiment all --stride 1 --instructions 20000   # full suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import ablation, figures, report, tables
+from repro.experiments.runner import ExperimentRunner
+
+_EXPERIMENTS = ("fig1", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3")
+_ABLATIONS = ("ablation-frontend", "ablation-overlap", "ablation-prf")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_EXPERIMENTS + _ABLATIONS + ("all",),
+        help="which figure/table to regenerate (or an ablation study)",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=12_000, help="trace length"
+    )
+    parser.add_argument(
+        "--stride",
+        type=int,
+        default=3,
+        help="sample every Nth suite trace (1 = full suite)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="cap the number of traces"
+    )
+    return parser
+
+
+def run_experiment(name: str, runner: ExperimentRunner) -> str:
+    """Produce the rendered text for one experiment."""
+    if name == "fig1":
+        return report.render_figure1(figures.figure1(runner))
+    if name == "fig2":
+        return report.render_figure2(figures.figure2(runner))
+    if name == "fig3":
+        return report.render_figure3(figures.figure3(runner))
+    if name == "fig4":
+        return report.render_figure4(figures.figure4(runner))
+    if name == "fig5":
+        return report.render_figure5(figures.figure5(runner))
+    if name == "tab1":
+        return report.render_table1(tables.table1(runner))
+    if name == "tab2":
+        return report.render_table2(tables.table2(runner))
+    if name == "tab3":
+        return report.render_table3(tables.table3(runner))
+    if name == "ablation-frontend":
+        return ablation.render_frontend_ablation(
+            ablation.decoupled_frontend_study(runner)
+        )
+    if name == "ablation-overlap":
+        return ablation.render_interaction(
+            ablation.improvement_interaction_study(runner)
+        )
+    if name == "ablation-prf":
+        return ablation.render_prf_study(ablation.finite_prf_study(runner))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = ExperimentRunner(
+        instructions=args.instructions, limit=args.limit, stride=args.stride
+    )
+    chosen = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    print(f"[runner {runner.describe()}]")
+    for name in chosen:
+        start = time.time()
+        print()
+        print(run_experiment(name, runner))
+        print(f"[{name} took {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Export experiment data as JSON/CSV for external plotting.
+
+The paper's artifact emits plain data rows for each figure; this module
+provides the same convenience: every figure/table result converts to
+plain dictionaries (:func:`to_records`), and :func:`export_json` /
+:func:`export_csv` write them out.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.experiments.figures import Figure1, Figure2
+from repro.experiments.tables import Table3
+
+
+def to_records(data: Any) -> List[Dict[str, Any]]:
+    """Flatten any experiment result into a list of plain dicts.
+
+    Supported shapes: lists of dataclasses (figures 3-5, tables 1-2,
+    ablations), :class:`Figure1`/:class:`Figure2` (per-improvement maps)
+    and :class:`Table3` (two ranked columns).
+    """
+    if isinstance(data, Figure1):
+        return [
+            {"improvement": name, "geomean_ipc_variation": value}
+            for name, value in data.variation.items()
+        ]
+    if isinstance(data, Figure2):
+        return [
+            {"improvement": name, "rank": i + 1, "ipc_variation": value}
+            for name, series in data.series.items()
+            for i, value in enumerate(series)
+        ]
+    if isinstance(data, Table3):
+        return [
+            {
+                "trace_set": trace_set,
+                "rank": entry.rank,
+                "prefetcher": entry.prefetcher,
+                "speedup": entry.speedup,
+            }
+            for trace_set, entries in (
+                ("competition", data.competition),
+                ("fixed", data.fixed),
+            )
+            for entry in entries
+        ]
+    if isinstance(data, Sequence) and not isinstance(data, (str, bytes)):
+        if not data:
+            return []
+        if dataclasses.is_dataclass(data[0]):
+            return [dataclasses.asdict(row) for row in data]
+    if dataclasses.is_dataclass(data):
+        return [dataclasses.asdict(data)]
+    raise TypeError(f"cannot flatten {type(data).__name__} into records")
+
+
+def export_json(data: Any, path: Union[str, Path]) -> Path:
+    """Write ``data`` as a JSON array of records; return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_records(data), indent=2, sort_keys=True))
+    return path
+
+
+def export_csv(data: Any, path: Union[str, Path]) -> Path:
+    """Write ``data`` as CSV (header from the first record's keys)."""
+    records = to_records(data)
+    path = Path(path)
+    if not records:
+        path.write_text("")
+        return path
+    fieldnames = list(records[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return path

@@ -1,0 +1,137 @@
+"""Text rendering of the experiment data (the paper-style rows/series)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.figures import (
+    Figure1,
+    Figure2,
+    Figure3Row,
+    Figure4Row,
+    Figure5Row,
+)
+from repro.experiments.tables import Table1Row, Table2Row, Table3
+
+
+def _pct(value: float) -> str:
+    return f"{100 * value:+.2f}%"
+
+
+def render_figure1(data: Figure1) -> str:
+    lines = [
+        f"Figure 1 — geomean IPC variation vs original converter "
+        f"({data.traces} CVP-1 public traces)",
+        "-" * 60,
+    ]
+    for name, variation in data.variation.items():
+        bar = "#" * min(40, int(abs(variation) * 400))
+        sign = "+" if variation >= 0 else "-"
+        lines.append(f"{name:20s} {_pct(variation):>9s}  {sign}{bar}")
+    return "\n".join(lines)
+
+
+def render_figure2(data: Figure2) -> str:
+    lines = [
+        "Figure 2 — per-trace IPC variation (sorted high to low)",
+        "-" * 60,
+    ]
+    for name, series in data.series.items():
+        head = ", ".join(_pct(v) for v in series[:3])
+        tail = ", ".join(_pct(v) for v in series[-3:])
+        lines.append(
+            f"{name:20s} best [{head}] ... worst [{tail}]  "
+            f"|>5%|={data.above_5pct[name]}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure3(rows: List[Figure3Row]) -> str:
+    lines = [
+        "Figure 3 — slowdown of branch-regs / flag-reg vs branch MPKI "
+        "(sorted by MPKI)",
+        f"{'trace':18s} {'brMPKI':>7s} {'branch-regs':>12s} {'flag-reg':>9s}",
+        "-" * 52,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.trace:18s} {row.branch_mpki:7.2f} "
+            f"{row.slowdown_branch_regs:12.3f} {row.slowdown_flag_reg:9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure4(rows: List[Figure4Row]) -> str:
+    lines = [
+        "Figure 4 — base-update speedup vs base-update load fraction",
+        f"{'trace':18s} {'bu-load %':>9s} {'speedup':>8s}",
+        "-" * 40,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.trace:18s} {100 * row.base_update_load_fraction:8.2f}% "
+            f"{row.speedup:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure5(rows: List[Figure5Row]) -> str:
+    lines = [
+        "Figure 5 — call-stack fix: RAS MPKI and speedup "
+        "(worst original-RAS traces)",
+        f"{'trace':18s} {'RAS orig':>8s} {'RAS fixed':>9s} {'speedup':>8s}",
+        "-" * 50,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.trace:18s} {row.ras_mpki_original:8.2f} "
+            f"{row.ras_mpki_improved:9.2f} {row.speedup:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    lines = [
+        "Table 1 — proposed trace conversion improvements",
+        f"{'improvement':14s} {'category':8s} {'affected':>9s}  description",
+        "-" * 100,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.improvement:14s} {row.category:8s} "
+            f"{row.records_affected:9d}  {row.description}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    lines = [
+        "Table 2 — IPC-1 traces characterised with the improved converter",
+        f"{'IPC-1 trace':20s} {'CVP-1 trace':16s} {'IPC':>5s} "
+        f"{'brM':>6s} {'dirM':>6s} {'tgtM':>6s} "
+        f"{'L1I':>6s} {'L1D':>6s} {'L2':>6s} {'LLC':>6s}",
+        "-" * 96,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.ipc1_trace:20s} {row.cvp1_trace:16s} {row.ipc:5.2f} "
+            f"{row.branch_mpki:6.2f} {row.direction_mpki:6.2f} "
+            f"{row.target_mpki:6.2f} {row.l1i_mpki:6.1f} {row.l1d_mpki:6.1f} "
+            f"{row.l2_mpki:6.1f} {row.llc_mpki:6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(data: Table3) -> str:
+    lines = [
+        "Table 3 — IPC-1 ranking (competition traces vs fixed traces)",
+        f"{'rank':>4s} {'prefetcher':12s} {'speedup':>8s}   | "
+        f"{'rank':>4s} {'prefetcher':12s} {'speedup':>8s}",
+        "-" * 62,
+    ]
+    for left, right in zip(data.competition, data.fixed):
+        lines.append(
+            f"{left.rank:4d} {left.prefetcher:12s} {left.speedup:8.4f}   | "
+            f"{right.rank:4d} {right.prefetcher:12s} {right.speedup:8.4f}"
+        )
+    return "\n".join(lines)

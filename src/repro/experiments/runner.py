@@ -1,0 +1,164 @@
+"""Convert-and-simulate driver with memoisation.
+
+Every experiment reduces to: generate a synthetic CVP-1 trace, convert it
+with some improvement set, simulate the conversion under some simulator
+configuration, and read statistics.  :class:`ExperimentRunner` memoises
+each stage so that e.g. Figure 1's ten configurations share one
+generation per trace, and Figures 2-5 reuse Figure 1's runs outright.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.convert import ConversionStats, Converter
+from repro.core.improvements import Improvement
+from repro.cvp.analysis import TraceCharacterization, characterize
+from repro.cvp.record import CvpRecord
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SimStats
+from repro.synth.generator import make_trace
+from repro.synth.suite import IPC1_TO_CVP1, cvp1_public_trace_names, ipc1_trace_names
+
+
+@dataclass
+class RunResult:
+    """One (trace, improvements, config) simulation outcome."""
+
+    trace: str
+    improvements: Improvement
+    config_name: str
+    stats: SimStats
+    conversion: ConversionStats
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (0 on empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class ExperimentRunner:
+    """Shared generation/conversion/simulation cache for the experiments.
+
+    Args:
+        instructions: Synthetic trace length (per trace).
+        limit: Keep only the first N suite traces (after ``stride``).
+        stride: Sample every stride-th trace of a suite — benchmarks use
+            this to keep runtime bounded while preserving the suite's
+            category diversity.
+    """
+
+    def __init__(
+        self,
+        instructions: int = 12_000,
+        limit: Optional[int] = None,
+        stride: int = 1,
+    ):
+        self.instructions = instructions
+        self.limit = limit
+        self.stride = stride
+        self._traces: Dict[str, List[CvpRecord]] = {}
+        self._characterizations: Dict[str, TraceCharacterization] = {}
+        self._runs: Dict[Tuple[str, Improvement, str, str], RunResult] = {}
+
+    # ------------------------------------------------------------------
+    # suites
+    # ------------------------------------------------------------------
+
+    def _sample(self, names: Sequence[str]) -> List[str]:
+        names = list(names)[:: self.stride]
+        if self.limit is not None:
+            names = names[: self.limit]
+        return names
+
+    def public_trace_names(self) -> List[str]:
+        """Sampled CVP-1 public suite names."""
+        return self._sample(cvp1_public_trace_names())
+
+    def ipc1_trace_names(self) -> List[str]:
+        """Sampled IPC-1 suite names (Table 2 order)."""
+        return self._sample(ipc1_trace_names())
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+
+    def trace(self, name: str) -> List[CvpRecord]:
+        """The CVP-1 records for ``name`` (generated once)."""
+        if name not in self._traces:
+            generator_name = IPC1_TO_CVP1.get(name, name)
+            self._traces[name] = make_trace(generator_name, self.instructions)
+        return self._traces[name]
+
+    def characterization(self, name: str) -> TraceCharacterization:
+        """Structural characterisation of the CVP-1 trace."""
+        if name not in self._characterizations:
+            self._characterizations[name] = characterize(self.trace(name))
+        return self._characterizations[name]
+
+    def run(
+        self,
+        name: str,
+        improvements: Improvement,
+        config: Optional[SimConfig] = None,
+    ) -> RunResult:
+        """Convert + simulate (memoised by trace/improvements/config)."""
+        config = config or SimConfig.main()
+        key = (name, improvements, config.name, config.l1i_prefetcher)
+        if key in self._runs:
+            return self._runs[key]
+        converter = Converter(improvements)
+        instrs = list(converter.convert(self.trace(name)))
+        stats = Simulator(config).run(instrs, converter.required_branch_rules)
+        result = RunResult(
+            trace=name,
+            improvements=improvements,
+            config_name=config.name,
+            stats=stats,
+            conversion=converter.stats,
+        )
+        self._runs[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+
+    def ipc_variation(
+        self,
+        name: str,
+        improvements: Improvement,
+        config: Optional[SimConfig] = None,
+    ) -> float:
+        """Relative IPC change of ``improvements`` vs the original converter."""
+        base = self.run(name, Improvement.NONE, config).stats.ipc
+        improved = self.run(name, improvements, config).stats.ipc
+        if base == 0:
+            return 0.0
+        return improved / base - 1.0
+
+    def geomean_variation(
+        self,
+        names: Sequence[str],
+        improvements: Improvement,
+        config: Optional[SimConfig] = None,
+    ) -> float:
+        """Geomean-IPC variation across ``names`` (the Figure 1 metric)."""
+        base = geomean(self.run(n, Improvement.NONE, config).stats.ipc for n in names)
+        improved = geomean(self.run(n, improvements, config).stats.ipc for n in names)
+        if base == 0:
+            return 0.0
+        return improved / base - 1.0
+
+    def describe(self) -> str:
+        """One-line description of the runner's sampling parameters."""
+        return (
+            f"instructions={self.instructions} stride={self.stride} "
+            f"limit={self.limit if self.limit is not None else 'all'}"
+        )

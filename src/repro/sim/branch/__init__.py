@@ -1,0 +1,57 @@
+"""Branch prediction structures.
+
+Direction predictors (:func:`make_direction_predictor` registry):
+
+- ``bimodal`` — per-PC 2-bit counters;
+- ``gshare`` — global-history-xor-PC 2-bit counters (stands in for the
+  IPC-1 contest's hashed perceptron);
+- ``tage`` — a TAGE-style tagged geometric-history predictor;
+- ``tage-sc-l`` — TAGE plus the loop predictor and statistical corrector
+  (the paper's 64KB TAGE-SC-L, at reduced size);
+- ``always-taken`` — degenerate baseline for tests.
+
+Target predictors: :class:`~repro.sim.branch.btb.BTB` (16K entries in the
+paper's setup), :class:`~repro.sim.branch.ras.ReturnAddressStack`, and the
+ITTAGE-style :class:`~repro.sim.branch.ittage.ITTAGE` indirect predictor.
+"""
+
+from repro.sim.branch.base import DirectionPredictor
+from repro.sim.branch.bimodal import Bimodal, AlwaysTaken
+from repro.sim.branch.gshare import GShare
+from repro.sim.branch.tage import Tage
+from repro.sim.branch.tage_scl import TageSCL, LoopPredictor, StatisticalCorrector
+from repro.sim.branch.btb import BTB
+from repro.sim.branch.ras import ReturnAddressStack
+from repro.sim.branch.ittage import ITTAGE
+
+
+def make_direction_predictor(name: str) -> DirectionPredictor:
+    """Build a direction predictor from its registry name."""
+    registry = {
+        "bimodal": Bimodal,
+        "gshare": GShare,
+        "tage": Tage,
+        "tage-sc-l": TageSCL,
+        "always-taken": AlwaysTaken,
+    }
+    if name not in registry:
+        raise ValueError(
+            f"unknown direction predictor {name!r}; known: {sorted(registry)}"
+        )
+    return registry[name]()
+
+
+__all__ = [
+    "DirectionPredictor",
+    "TageSCL",
+    "LoopPredictor",
+    "StatisticalCorrector",
+    "Bimodal",
+    "AlwaysTaken",
+    "GShare",
+    "Tage",
+    "BTB",
+    "ReturnAddressStack",
+    "ITTAGE",
+    "make_direction_predictor",
+]

@@ -1,0 +1,22 @@
+"""Direction-predictor interface."""
+
+from __future__ import annotations
+
+import abc
+
+
+class DirectionPredictor(abc.ABC):
+    """Predict taken/not-taken for conditional branches.
+
+    The engine calls :meth:`predict` at fetch and :meth:`update` at
+    resolve with the actual outcome (trace-driven, so resolve order is
+    program order).
+    """
+
+    @abc.abstractmethod
+    def predict(self, ip: int) -> bool:
+        """Return the predicted direction for the branch at ``ip``."""
+
+    @abc.abstractmethod
+    def update(self, ip: int, taken: bool) -> None:
+        """Train with the actual outcome."""

@@ -1,0 +1,107 @@
+"""ITTAGE-style indirect target predictor.
+
+Tagged tables indexed by PC and geometrically increasing path history,
+each entry holding a full target and a confidence counter; the longest
+matching component provides the prediction, with allocation on target
+misses — the structure of Seznec's 64KB ITTAGE, reduced in size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class _Entry:
+    tag: int
+    target: int
+    confidence: int = 1
+
+
+class ITTAGE:
+    """Indirect target prediction from PC + path history."""
+
+    def __init__(
+        self,
+        num_tables: int = 4,
+        table_bits: int = 10,
+        tag_bits: int = 10,
+        min_history: int = 4,
+        max_history: int = 64,
+    ):
+        self._num_tables = num_tables
+        self._table_mask = (1 << table_bits) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._tables: List[List[Optional[_Entry]]] = [
+            [None] * (1 << table_bits) for _ in range(num_tables)
+        ]
+        ratio = (max_history / min_history) ** (1.0 / max(1, num_tables - 1))
+        self._hist_lens = [
+            int(round(min_history * ratio**i)) for i in range(num_tables)
+        ]
+        self._path = 0
+        #: Base table: last-target per PC.
+        self._base: dict = {}
+
+    def _fold(self, length: int, bits: int) -> int:
+        hist = self._path & ((1 << length) - 1)
+        folded = 0
+        while hist:
+            folded ^= hist & ((1 << bits) - 1)
+            hist >>= bits
+        return folded
+
+    def _index(self, ip: int, table: int) -> int:
+        fold = self._fold(self._hist_lens[table], 10)
+        return ((ip >> 2) ^ fold ^ (table * 0x9E3)) & self._table_mask
+
+    def _tag(self, ip: int, table: int) -> int:
+        fold = self._fold(self._hist_lens[table], 9)
+        return ((ip >> 3) ^ (fold << 1) ^ table) & self._tag_mask
+
+    def predict(self, ip: int) -> Optional[int]:
+        """Predicted target for the indirect branch at ``ip``."""
+        for table in range(self._num_tables - 1, -1, -1):
+            entry = self._tables[table][self._index(ip, table)]
+            if entry is not None and entry.tag == self._tag(ip, table):
+                return entry.target
+        return self._base.get(ip)
+
+    def update(self, ip: int, target: int) -> None:
+        """Train with the actual target and advance path history."""
+        provider = None
+        for table in range(self._num_tables - 1, -1, -1):
+            entry = self._tables[table][self._index(ip, table)]
+            if entry is not None and entry.tag == self._tag(ip, table):
+                provider = (table, entry)
+                break
+
+        if provider is not None:
+            table, entry = provider
+            if entry.target == target:
+                entry.confidence = min(3, entry.confidence + 1)
+            else:
+                if entry.confidence > 0:
+                    entry.confidence -= 1
+                else:
+                    entry.target = target
+                # Allocate in a longer table for the new correlation.
+                for higher in range(table + 1, self._num_tables):
+                    idx = self._index(ip, higher)
+                    slot = self._tables[higher][idx]
+                    if slot is None or slot.confidence == 0:
+                        self._tables[higher][idx] = _Entry(
+                            tag=self._tag(ip, higher), target=target
+                        )
+                        break
+        else:
+            predicted = self._base.get(ip)
+            if predicted is not None and predicted != target:
+                idx = self._index(ip, 0)
+                slot = self._tables[0][idx]
+                if slot is None or slot.confidence == 0:
+                    self._tables[0][idx] = _Entry(tag=self._tag(ip, 0), target=target)
+            self._base[ip] = target
+
+        self._path = ((self._path << 2) ^ (target >> 2)) & ((1 << 128) - 1)

@@ -1,0 +1,174 @@
+"""TAGE-style direction predictor.
+
+A faithful-in-structure, reduced-in-size TAGE (Seznec): a bimodal base
+table plus N partially-tagged components indexed with geometrically
+increasing global-history lengths.  Prediction comes from the longest
+matching component; allocation on mispredict targets the next-longer
+component; useful counters arbitrate replacement.  This stands in for the
+paper's 64KB TAGE-SC-L (the statistical corrector and loop predictor are
+omitted — they trim the mispredict tail but do not change which branches
+are fundamentally hard).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.branch.base import DirectionPredictor
+
+
+@dataclass
+class _Entry:
+    tag: int = 0
+    counter: int = 0  # signed 3-bit: -4..3, >=0 predicts taken
+    useful: int = 0
+
+
+class Tage(DirectionPredictor):
+    """TAGE with a bimodal base and ``num_tables`` tagged components."""
+
+    def __init__(
+        self,
+        num_tables: int = 5,
+        table_bits: int = 11,
+        tag_bits: int = 9,
+        min_history: int = 4,
+        max_history: int = 128,
+        seed: int = 0xC0FFEE,
+    ):
+        self._num_tables = num_tables
+        self._table_mask = (1 << table_bits) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._tables: List[List[Optional[_Entry]]] = [
+            [None] * (1 << table_bits) for _ in range(num_tables)
+        ]
+        # Geometric history lengths.
+        ratio = (max_history / min_history) ** (1.0 / max(1, num_tables - 1))
+        self._hist_lens = [
+            int(round(min_history * ratio**i)) for i in range(num_tables)
+        ]
+        self._base = [2] * (1 << 13)  # bimodal fallback, 2-bit counters
+        self._base_mask = (1 << 13) - 1
+        self._history = 0
+        self._rng = random.Random(seed)
+        # Cached lookup for the predict→update pair of the same branch.
+        self._last: Optional[Tuple[int, Optional[int], Optional[int], bool, bool]] = None
+
+    # ------------------------------------------------------------------
+    # hashing
+    # ------------------------------------------------------------------
+
+    def _folded_history(self, length: int, bits: int) -> int:
+        hist = self._history & ((1 << length) - 1)
+        folded = 0
+        while hist:
+            folded ^= hist & ((1 << bits) - 1)
+            hist >>= bits
+        return folded
+
+    def _index(self, ip: int, table: int) -> int:
+        length = self._hist_lens[table]
+        fold = self._folded_history(length, 11)
+        return ((ip >> 2) ^ (ip >> 7) ^ fold ^ (table * 0x9E37)) & self._table_mask
+
+    def _tag(self, ip: int, table: int) -> int:
+        length = self._hist_lens[table]
+        fold = self._folded_history(length, 9)
+        return ((ip >> 2) ^ (fold << 1) ^ (table * 0x1F3)) & self._tag_mask
+
+    # ------------------------------------------------------------------
+    # predict / update
+    # ------------------------------------------------------------------
+
+    def _lookup(self, ip: int) -> Tuple[Optional[int], Optional[int], bool, bool]:
+        """Find provider and alternate; return their predictions.
+
+        Returns ``(provider_table, alt_table, provider_pred, alt_pred)``
+        with ``None`` table indices meaning the bimodal base.
+        """
+        provider = None
+        alt = None
+        for table in range(self._num_tables - 1, -1, -1):
+            entry = self._tables[table][self._index(ip, table)]
+            if entry is not None and entry.tag == self._tag(ip, table):
+                if provider is None:
+                    provider = table
+                else:
+                    alt = table
+                    break
+        base_pred = self._base[(ip >> 2) & self._base_mask] >= 2
+        provider_pred = base_pred
+        alt_pred = base_pred
+        if provider is not None:
+            entry = self._tables[provider][self._index(ip, provider)]
+            assert entry is not None
+            provider_pred = entry.counter >= 0
+            if alt is not None:
+                alt_entry = self._tables[alt][self._index(ip, alt)]
+                assert alt_entry is not None
+                alt_pred = alt_entry.counter >= 0
+        return provider, alt, provider_pred, alt_pred
+
+    def predict(self, ip: int) -> bool:
+        provider, alt, provider_pred, alt_pred = self._lookup(ip)
+        self._last = (ip, provider, alt, provider_pred, alt_pred)
+        return provider_pred
+
+    def update(self, ip: int, taken: bool) -> None:
+        if self._last is None or self._last[0] != ip:
+            # Update without a paired predict: redo the lookup.
+            provider, alt, provider_pred, alt_pred = self._lookup(ip)
+        else:
+            _, provider, alt, provider_pred, alt_pred = self._last
+        self._last = None
+
+        mispredicted = provider_pred != taken
+
+        # Train the provider (or the base).
+        if provider is not None:
+            idx = self._index(ip, provider)
+            entry = self._tables[provider][idx]
+            assert entry is not None
+            if taken:
+                entry.counter = min(3, entry.counter + 1)
+            else:
+                entry.counter = max(-4, entry.counter - 1)
+            if provider_pred != alt_pred:
+                if provider_pred == taken:
+                    entry.useful = min(3, entry.useful + 1)
+                else:
+                    entry.useful = max(0, entry.useful - 1)
+        else:
+            bidx = (ip >> 2) & self._base_mask
+            counter = self._base[bidx]
+            if taken:
+                self._base[bidx] = min(3, counter + 1)
+            else:
+                self._base[bidx] = max(0, counter - 1)
+
+        # Allocate a longer-history entry on misprediction.
+        if mispredicted:
+            start = (provider + 1) if provider is not None else 0
+            allocated = False
+            for table in range(start, self._num_tables):
+                idx = self._index(ip, table)
+                entry = self._tables[table][idx]
+                if entry is None or entry.useful == 0:
+                    self._tables[table][idx] = _Entry(
+                        tag=self._tag(ip, table),
+                        counter=0 if taken else -1,
+                        useful=0,
+                    )
+                    allocated = True
+                    break
+            if not allocated and self._rng.random() < 0.25:
+                # Age useful counters so the predictor does not lock up.
+                for table in range(start, self._num_tables):
+                    idx = self._index(ip, table)
+                    entry = self._tables[table][idx]
+                    if entry is not None and entry.useful > 0:
+                        entry.useful -= 1
+
+        self._history = ((self._history << 1) | int(taken)) & ((1 << 256) - 1)

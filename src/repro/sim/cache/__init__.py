@@ -1,0 +1,16 @@
+"""Cache hierarchy: set-associative caches, replacement policies, and the
+four-level L1I/L1D/L2/LLC wiring the paper's configuration uses."""
+
+from repro.sim.cache.replacement import LRU, SRRIP, RandomReplacement, make_policy
+from repro.sim.cache.cache import Cache
+from repro.sim.cache.hierarchy import CacheHierarchy, AccessResult
+
+__all__ = [
+    "LRU",
+    "SRRIP",
+    "RandomReplacement",
+    "make_policy",
+    "Cache",
+    "CacheHierarchy",
+    "AccessResult",
+]

@@ -1,0 +1,80 @@
+"""Decode ChampSim trace instructions for the timing model.
+
+ChampSim traces carry neither branch types nor branch targets: the type
+is deduced from register usage (:mod:`repro.champsim.branch_info`) and
+the target of a taken branch is the IP of the *next* instruction in the
+trace.  :func:`decode_trace` performs both derivations in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.champsim.branch_info import BranchRules, BranchType, deduce_branch_type
+from repro.champsim.trace import ChampSimInstr
+
+
+@dataclass
+class DecodedInstr:
+    """One instruction, ready for the engine.
+
+    ``target`` is the architectural next-IP of a taken branch (0 for
+    everything else); ``is_load``/``is_store`` follow ChampSim's rule
+    (memory sources → load, memory destinations → store).
+    """
+
+    ip: int
+    branch_type: BranchType
+    branch_taken: bool
+    target: int
+    src_regs: Tuple[int, ...]
+    dst_regs: Tuple[int, ...]
+    src_mem: Tuple[int, ...]
+    dst_mem: Tuple[int, ...]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch_type is not BranchType.NOT_BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        return bool(self.src_mem)
+
+    @property
+    def is_store(self) -> bool:
+        return bool(self.dst_mem)
+
+
+def decode_trace(
+    instrs: Sequence[ChampSimInstr],
+    rules: BranchRules = BranchRules.ORIGINAL,
+) -> List[DecodedInstr]:
+    """Deduce branch types and attach next-IP targets.
+
+    The last instruction of a taken-branch-terminated trace has no next
+    IP; its target falls back to its own IP (it cannot influence timing).
+    """
+    decoded: List[DecodedInstr] = []
+    for index, instr in enumerate(instrs):
+        branch_type = deduce_branch_type(instr, rules)
+        taken = bool(instr.is_branch and instr.branch_taken)
+        target = 0
+        if taken:
+            if index + 1 < len(instrs):
+                target = instrs[index + 1].ip
+            else:
+                target = instr.ip
+        decoded.append(
+            DecodedInstr(
+                ip=instr.ip,
+                branch_type=branch_type,
+                branch_taken=taken,
+                target=target,
+                src_regs=instr.src_regs,
+                dst_regs=instr.dst_regs,
+                src_mem=instr.src_mem,
+                dst_mem=instr.dst_mem,
+            )
+        )
+    return decoded

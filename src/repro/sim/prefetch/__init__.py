@@ -1,0 +1,42 @@
+"""Prefetchers.
+
+Data side (the paper's Ice-Lake-like Section 4 setup): an IP-stride
+prefetcher at the L1D and a next-line prefetcher at the L2
+(:func:`make_data_prefetcher`).
+
+Instruction side: the eight IPC-1 championship submissions the paper
+re-ranks in Table 3 live in :mod:`repro.sim.prefetch.ipc1` and are built
+by :func:`make_instruction_prefetcher`.
+"""
+
+from repro.sim.prefetch.base import DataPrefetcher, InstructionPrefetcher
+from repro.sim.prefetch.ip_stride import IpStridePrefetcher
+from repro.sim.prefetch.next_line import NextLinePrefetcher
+from repro.sim.prefetch.ipc1 import (
+    IPC1_PREFETCHERS,
+    make_instruction_prefetcher,
+)
+
+
+def make_data_prefetcher(name: str, level: str):
+    """Build a data prefetcher by name ('' → None)."""
+    if not name:
+        return None
+    registry = {
+        "ip_stride": lambda: IpStridePrefetcher(fill_l1=(level == "l1d")),
+        "next_line": lambda: NextLinePrefetcher(fill_l1=(level == "l1d")),
+    }
+    if name not in registry:
+        raise ValueError(f"unknown data prefetcher {name!r}; known: {sorted(registry)}")
+    return registry[name]()
+
+
+__all__ = [
+    "DataPrefetcher",
+    "InstructionPrefetcher",
+    "IpStridePrefetcher",
+    "NextLinePrefetcher",
+    "IPC1_PREFETCHERS",
+    "make_data_prefetcher",
+    "make_instruction_prefetcher",
+]

@@ -1,0 +1,42 @@
+"""Prefetcher interfaces."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.champsim.branch_info import BranchType
+
+
+class DataPrefetcher(abc.ABC):
+    """Observes demand data accesses, issues prefetches into the hierarchy."""
+
+    @abc.abstractmethod
+    def on_access(
+        self, ip: int, addr: int, hit: bool, hierarchy, now: int
+    ) -> None:
+        """Called on every demand access at the level this prefetcher guards."""
+
+
+class InstructionPrefetcher(abc.ABC):
+    """Observes the fetch stream, issues L1I prefetches.
+
+    The engine calls :meth:`on_fetch` once per fetched cacheline with the
+    fetch address, whether the demand access hit, and — when the fetch
+    group ends in a branch — its deduced type and (post-resolution)
+    target, which is the information the IPC-1 API exposed to contestants
+    (they observed branches committed by ChampSim's front-end).
+    """
+
+    @abc.abstractmethod
+    def on_fetch(
+        self,
+        line_addr: int,
+        hit: bool,
+        hierarchy,
+        now: int,
+        branch_ip: Optional[int] = None,
+        branch_type: BranchType = BranchType.NOT_BRANCH,
+        branch_target: Optional[int] = None,
+    ) -> None:
+        """Called once per demand-fetched cacheline."""

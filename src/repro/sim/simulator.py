@@ -1,0 +1,65 @@
+"""Top-level simulation API.
+
+::
+
+    from repro.sim import Simulator, SimConfig
+
+    stats = Simulator(SimConfig.main()).run(instrs, rules)
+
+``instrs`` may be raw :class:`~repro.champsim.trace.ChampSimInstr`
+records, already-decoded instructions, or a path to a ChampSim trace
+file.  ``rules`` selects ChampSim's branch-deduction rule set — use the
+:attr:`~repro.core.convert.Converter.required_branch_rules` the converter
+reports for the trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.champsim.branch_info import BranchRules
+from repro.champsim.trace import ChampSimInstr, read_champsim_trace
+from repro.sim.config import SimConfig
+from repro.sim.decoded import DecodedInstr, decode_trace
+from repro.sim.engine import Engine
+from repro.sim.stats import SimStats
+
+TraceLike = Union[str, Path, Sequence[ChampSimInstr], Sequence[DecodedInstr]]
+
+
+def _as_decoded(trace: TraceLike, rules: BranchRules) -> List[DecodedInstr]:
+    if isinstance(trace, (str, Path)):
+        return decode_trace(read_champsim_trace(trace), rules)
+    trace = list(trace)
+    if trace and isinstance(trace[0], DecodedInstr):
+        return trace  # type: ignore[return-value]
+    return decode_trace(trace, rules)  # type: ignore[arg-type]
+
+
+class Simulator:
+    """Run the interval model over ChampSim traces."""
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+
+    def run(
+        self,
+        trace: TraceLike,
+        rules: BranchRules = BranchRules.ORIGINAL,
+    ) -> SimStats:
+        """Simulate one trace with a fresh engine; return its statistics."""
+        decoded = _as_decoded(trace, rules)
+        engine = Engine(self.config)
+        return engine.run(decoded)
+
+
+def simulate(
+    trace: TraceLike,
+    config: SimConfig = None,
+    rules: BranchRules = BranchRules.ORIGINAL,
+) -> SimStats:
+    """One-call simulation with the paper's main configuration by default."""
+    if config is None:
+        config = SimConfig.main()
+    return Simulator(config).run(trace, rules)

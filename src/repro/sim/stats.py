@@ -1,0 +1,162 @@
+"""Simulation statistics: IPC, branch MPKIs, per-level cache MPKIs.
+
+The MPKI definitions match the paper's Table 2 columns:
+
+- *overall* branch MPKI counts a branch once if its direction or its
+  target was mispredicted;
+- *direction* MPKI counts conditional branches whose predicted direction
+  was wrong;
+- *target* MPKI counts taken branches whose predicted target was wrong
+  (BTB miss, RAS miss, or indirect-predictor miss);
+- *RAS* MPKI counts target mispredictions of return-typed branches only
+  (the paper's Figure 5 metric);
+- cache MPKIs count demand misses at each level.
+
+Counters gate on :attr:`enabled`, which the engine flips after warm-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.champsim.branch_info import BranchType
+
+
+@dataclass
+class SimStats:
+    """Mutable counters for one simulation run."""
+
+    enabled: bool = True
+
+    instructions: int = 0
+    cycles: int = 0
+
+    branches: int = 0
+    taken_branches: int = 0
+    direction_mispredicts: int = 0
+    target_mispredicts: int = 0
+    #: Branches with either kind of misprediction (counted once each).
+    mispredicted_branches: int = 0
+    #: Target mispredictions by deduced branch type.
+    target_misses_by_type: Dict[BranchType, int] = field(default_factory=dict)
+    #: Dynamic branch counts by deduced type.
+    branches_by_type: Dict[BranchType, int] = field(default_factory=dict)
+
+    #: Demand accesses / misses per cache level name ('L1I', 'L1D', 'L2',
+    #: 'LLC').
+    cache_accesses: Dict[str, int] = field(default_factory=dict)
+    cache_misses: Dict[str, int] = field(default_factory=dict)
+
+    prefetches_issued: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def count_instruction(self) -> None:
+        if self.enabled:
+            self.instructions += 1
+
+    def count_branch(
+        self,
+        branch_type: BranchType,
+        taken: bool,
+        direction_wrong: bool,
+        target_wrong: bool,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.branches += 1
+        self.branches_by_type[branch_type] = (
+            self.branches_by_type.get(branch_type, 0) + 1
+        )
+        if taken:
+            self.taken_branches += 1
+        if direction_wrong:
+            self.direction_mispredicts += 1
+        if target_wrong:
+            self.target_mispredicts += 1
+            self.target_misses_by_type[branch_type] = (
+                self.target_misses_by_type.get(branch_type, 0) + 1
+            )
+        if direction_wrong or target_wrong:
+            self.mispredicted_branches += 1
+
+    def count_cache_access(self, level: str, miss: bool) -> None:
+        if not self.enabled:
+            return
+        self.cache_accesses[level] = self.cache_accesses.get(level, 0) + 1
+        if miss:
+            self.cache_misses[level] = self.cache_misses.get(level, 0) + 1
+
+    def count_prefetch(self, level: str) -> None:
+        if self.enabled:
+            self.prefetches_issued[level] = self.prefetches_issued.get(level, 0) + 1
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def _per_kilo(self, count: int) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * count / self.instructions
+
+    @property
+    def branch_mpki(self) -> float:
+        """Overall branch MPKI (direction or target wrong, counted once)."""
+        return self._per_kilo(self.mispredicted_branches)
+
+    @property
+    def direction_mpki(self) -> float:
+        return self._per_kilo(self.direction_mispredicts)
+
+    @property
+    def target_mpki(self) -> float:
+        return self._per_kilo(self.target_mispredicts)
+
+    @property
+    def ras_mpki(self) -> float:
+        """Return-target mispredictions per kilo-instruction (Figure 5)."""
+        return self._per_kilo(self.target_misses_by_type.get(BranchType.RETURN, 0))
+
+    def cache_mpki(self, level: str) -> float:
+        return self._per_kilo(self.cache_misses.get(level, 0))
+
+    @property
+    def l1i_mpki(self) -> float:
+        return self.cache_mpki("L1I")
+
+    @property
+    def l1d_mpki(self) -> float:
+        return self.cache_mpki("L1D")
+
+    @property
+    def l2_mpki(self) -> float:
+        return self.cache_mpki("L2")
+
+    @property
+    def llc_mpki(self) -> float:
+        return self.cache_mpki("LLC")
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"instructions: {self.instructions}",
+            f"cycles:       {self.cycles}",
+            f"IPC:          {self.ipc:.3f}",
+            f"branch MPKI:  {self.branch_mpki:.2f} "
+            f"(direction {self.direction_mpki:.2f}, target {self.target_mpki:.2f}, "
+            f"RAS {self.ras_mpki:.2f})",
+        ]
+        for level in ("L1I", "L1D", "L2", "LLC"):
+            lines.append(f"{level} MPKI:     {self.cache_mpki(level):.2f}")
+        return "\n".join(lines)

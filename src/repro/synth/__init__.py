@@ -1,0 +1,57 @@
+"""Synthetic Aarch64 workload generator (CVP-1 trace substitute).
+
+The CVP-1 traces are proprietary Qualcomm data we cannot redistribute or
+access here, so this subpackage builds the closest synthetic equivalent:
+a deterministic generator that emits *bit-exact CVP-1 format* traces from
+parameterised workload profiles.
+
+The profiles span the four CVP-1 categories (compute INT, compute FP,
+crypto, server) and expose knobs for every behaviour the paper's six
+converter improvements depend on:
+
+- loads/stores with pre/post-indexing base update (``base-update``);
+- load pairs, vector loads, prefetch loads, store-exclusive
+  (``mem-regs``);
+- cacheline-crossing accesses and DC ZVA (``mem-footprint``);
+- indirect calls that read *and* write X30 (``call-stack``);
+- cb(n)z/tb(n)z-style conditional branches with register sources and
+  compare instructions with no destination register (``branch-regs`` /
+  ``flag-reg``);
+- instruction/data footprints and branch predictability classes that set
+  the MPKI axes of the paper's Figures 3-5.
+
+Public API::
+
+    from repro.synth import make_trace, cvp1_public_suite, ipc1_suite
+
+    records = make_trace("srv_3", instructions=20_000)
+    for name, records in cvp1_public_suite(instructions=10_000):
+        ...
+"""
+
+from repro.synth.profiles import (
+    WorkloadProfile,
+    profile_for_trace,
+    CATEGORY_PROFILES,
+)
+from repro.synth.generator import TraceGenerator, make_trace
+from repro.synth.suite import (
+    cvp1_public_trace_names,
+    cvp1_public_suite,
+    ipc1_trace_names,
+    ipc1_suite,
+    IPC1_TO_CVP1,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "profile_for_trace",
+    "CATEGORY_PROFILES",
+    "TraceGenerator",
+    "make_trace",
+    "cvp1_public_trace_names",
+    "cvp1_public_suite",
+    "ipc1_trace_names",
+    "ipc1_suite",
+    "IPC1_TO_CVP1",
+]

@@ -1,0 +1,581 @@
+"""Dynamic execution of a synthetic program → CVP-1 records.
+
+:class:`TraceGenerator` interprets the static :class:`~repro.synth.program.Program`
+and emits one :class:`~repro.cvp.record.CvpRecord` per retired synthetic
+instruction.  The interpreter maintains *consistent architectural state*:
+
+- register values are tracked, so the output values written into the
+  trace obey the invariants the converter's addressing-mode heuristic
+  relies on (base-update loads write ``base ± stride``, pointer-chase
+  loads write far-away node addresses, address registers hold the
+  effective address they feed);
+- calls push real return addresses (``call_pc + 4``, which is by
+  construction the first instruction of the following block) and returns
+  jump to them, so return-address-stack behaviour in the simulator is
+  exact;
+- every static instruction keeps its PC across re-executions, giving
+  predictors and prefetchers learnable structure.
+
+Memory addressing uses three register conventions:
+
+- base-update walkers own the :data:`~repro.synth.program.POINTER_REGS`
+  and stride through the data region;
+- the pointer chase owns :data:`~repro.synth.program.CHASE_REG` and
+  follows a shuffled node ring (dependent cache-missing loads);
+- every other access stages its effective address in an address register
+  via an explicit address-generation ALU — mirroring real address
+  arithmetic and keeping the trace's register values consistent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.cvp.isa import InstClass, LINK_REGISTER
+from repro.cvp.record import CvpRecord
+from repro.synth.profiles import WorkloadProfile, profile_for_trace
+from repro.synth.program import (
+    Block,
+    CHASE_REG,
+    DATA_BASE,
+    LOOP_REG,
+    OpTemplate,
+    Program,
+    SCRATCH_REGS,
+    STACK_BASE,
+    TARGET_REGS,
+    Terminator,
+    build_program,
+)
+
+#: Register used to stage computed effective addresses.
+ADDRESS_REG = 28
+
+#: Maximum call depth the interpreter follows.
+MAX_CALL_DEPTH = 12
+
+_U64 = (1 << 64) - 1
+
+
+class _BudgetDone(Exception):
+    """Internal: raised when the instruction budget is exhausted."""
+
+
+class TraceGenerator:
+    """Generate a CVP-1 record stream for one workload profile.
+
+    Args:
+        profile: A :class:`WorkloadProfile` or a trace name (in which case
+            :func:`~repro.synth.profiles.profile_for_trace` derives the
+            profile).
+        seed: Optional override of the dynamic seed; defaults to the
+            profile name, making every trace fully deterministic.
+    """
+
+    def __init__(
+        self,
+        profile: Union[WorkloadProfile, str],
+        seed: Optional[Union[int, str]] = None,
+    ):
+        if isinstance(profile, str):
+            profile = profile_for_trace(profile)
+        self.profile = profile
+        self.program: Program = build_program(profile)
+        self._rng = random.Random(
+            seed if seed is not None else f"dynamic:{profile.name}"
+        )
+        self._regs: Dict[int, int] = {}
+        self._site_count: Dict[Tuple[int, int, int], int] = {}
+        self._walker_pos: Dict[Tuple[int, int, int], int] = {}
+        self._site_rotor: Dict[Tuple[int, int], int] = {}
+        self._chase_pos = 0
+        self._out: List[CvpRecord] = []
+        self._remaining = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def generate(self, instructions: int) -> List[CvpRecord]:
+        """Return a list of exactly ``instructions`` records."""
+        if instructions <= 0:
+            return []
+        self._out = []
+        self._remaining = instructions
+        self._regs[CHASE_REG] = self.program.chase_ring[0]
+        try:
+            while True:
+                self._run_function(0, depth=0)
+        except _BudgetDone:
+            pass
+        return self._out
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, record: CvpRecord) -> None:
+        self._out.append(record)
+        for reg, value in zip(record.dst_regs, record.dst_values):
+            self._regs[reg] = value
+        self._remaining -= 1
+        if self._remaining <= 0:
+            raise _BudgetDone
+
+    def _rand_value(self) -> int:
+        """A data value that cannot be mistaken for an address register."""
+        return self._rng.getrandbits(63) | (1 << 63)
+
+    def _emit_alu(
+        self,
+        pc: int,
+        dst_regs: Tuple[int, ...],
+        src_regs: Tuple[int, ...],
+        values: Optional[Tuple[int, ...]] = None,
+        inst_class: InstClass = InstClass.ALU,
+    ) -> None:
+        if values is None:
+            values = tuple(self._rand_value() for _ in dst_regs)
+        self._emit(
+            CvpRecord(
+                pc=pc,
+                inst_class=inst_class,
+                src_regs=src_regs,
+                dst_regs=dst_regs,
+                dst_values=values,
+            )
+        )
+
+    def _emit_branch(
+        self,
+        pc: int,
+        inst_class: InstClass,
+        taken: bool,
+        target: Optional[int],
+        src_regs: Tuple[int, ...] = (),
+        dst_regs: Tuple[int, ...] = (),
+        values: Tuple[int, ...] = (),
+    ) -> None:
+        self._emit(
+            CvpRecord(
+                pc=pc,
+                inst_class=inst_class,
+                src_regs=src_regs,
+                dst_regs=dst_regs,
+                dst_values=values,
+                branch_taken=taken,
+                branch_target=target if taken else None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # memory emission
+    # ------------------------------------------------------------------
+
+    def _region_address(self, op: OpTemplate, count: int) -> int:
+        """Effective address for a strided/random access of ``op``."""
+        region = self.program.region_bytes
+        if op.role == "random":
+            ea = DATA_BASE + self._rng.randrange(region // 8) * 8
+        else:
+            ea = DATA_BASE + (op.region_offset + count * op.stride) % region
+        if op.cross_line:
+            return (ea & ~63) + 60
+        if op.form == "dc_zva":
+            return ea & ~63
+        # Natural alignment for the *whole* transfer (pairs and vector
+        # loads included), so accidental cacheline crossing stays rare —
+        # the paper measures only 0.3% of instructions crossing lines.
+        total = op.size * max(1, len(op.dst_regs) or len(op.src_regs) or 1)
+        align = 8
+        while align < total and align < 64:
+            align <<= 1
+        return ea & ~(align - 1)
+
+    def _stream_start(self, op: OpTemplate) -> int:
+        """Starting address of a base-update site's private stream."""
+        return (DATA_BASE + op.region_offset % self.program.region_bytes) & ~7
+
+    def _walk_pointer(
+        self, op: OpTemplate, site: Tuple[int, int, int], pc0: int
+    ) -> Tuple[int, int]:
+        """Advance a base-update walker; return ``(old_value, new_value)``.
+
+        Every base-update site owns a private strided stream through the
+        data region.  While the same site re-executes back to back (a
+        loop walking an array), the pointer register carries the stream —
+        a genuine serial dependence chain, exactly what the paper's
+        ``base-update`` improvement unserialises.  When another site (or
+        a wrap) has moved the register elsewhere, an address-setup ALU
+        re-bases it first, which also breaks the chain — matching real
+        code, where chains live within loops.
+        """
+        pos = self._walker_pos.get(site)
+        if pos is None:
+            pos = self._stream_start(op)
+        region_end = DATA_BASE + self.program.region_bytes
+        if not (DATA_BASE <= pos + op.stride < region_end):
+            pos = self._stream_start(op)
+        if self._regs.get(op.base_reg) != pos:
+            # Re-base the pointer onto this site's stream.
+            self._emit_alu(
+                pc0,
+                dst_regs=(op.base_reg,),
+                src_regs=(SCRATCH_REGS[1],),
+                values=(pos,),
+            )
+        new = pos + op.stride
+        self._walker_pos[site] = new
+        return pos, new
+
+    def _emit_load(self, op: OpTemplate, site: Tuple[int, int, int]) -> None:
+        func, block, slot = site
+        pc0 = self.program.body_pc(func, block, slot, 0)
+        pc1 = self.program.body_pc(func, block, slot, 1)
+        count = self._site_count.get(site, 0)
+        self._site_count[site] = count + 1
+
+        if op.form == "base_update":
+            old, new = self._walk_pointer(op, site, pc0)
+            ea = new if op.pre_index else old
+            # CVP-1 lists the base register first among the outputs of a
+            # base-updating load (the address update commits before the
+            # memory data) — the ordering the original converter's
+            # keep-first-destination rule interacts with.
+            self._emit(
+                CvpRecord(
+                    pc=pc1,
+                    inst_class=InstClass.LOAD,
+                    src_regs=(op.base_reg,),
+                    dst_regs=(op.base_reg,) + op.dst_regs,
+                    dst_values=(new,)
+                    + tuple(self._rand_value() for _ in op.dst_regs),
+                    mem_address=ea,
+                    mem_size=op.size,
+                )
+            )
+            return
+
+        if op.role == "chase":
+            ring = self.program.chase_ring
+            current = self._regs.get(CHASE_REG, ring[0])
+            self._chase_pos = (self._chase_pos + 1) % len(ring)
+            nxt = ring[self._chase_pos]
+            dsts = (CHASE_REG,) if op.form != "prefetch" else ()
+            self._emit(
+                CvpRecord(
+                    pc=pc0,
+                    inst_class=InstClass.LOAD,
+                    src_regs=(CHASE_REG,),
+                    dst_regs=dsts,
+                    dst_values=(nxt,) if dsts else (),
+                    mem_address=current,
+                    mem_size=8,
+                )
+            )
+            return
+
+        ea = self._region_address(op, count)
+        # Address generation: stage the effective address in ADDRESS_REG so
+        # the memory record's source register value matches its address.
+        self._emit_alu(
+            pc0,
+            dst_regs=(ADDRESS_REG,),
+            src_regs=(op.base_reg, SCRATCH_REGS[3]),
+            values=(ea,),
+        )
+        dsts = () if op.form == "prefetch" else op.dst_regs
+        self._emit(
+            CvpRecord(
+                pc=pc1,
+                inst_class=InstClass.LOAD,
+                src_regs=(ADDRESS_REG,),
+                dst_regs=dsts,
+                dst_values=tuple(self._rand_value() for _ in dsts),
+                mem_address=ea,
+                mem_size=op.size,
+            )
+        )
+
+    def _emit_store(self, op: OpTemplate, site: Tuple[int, int, int]) -> None:
+        func, block, slot = site
+        pc0 = self.program.body_pc(func, block, slot, 0)
+        pc1 = self.program.body_pc(func, block, slot, 1)
+        count = self._site_count.get(site, 0)
+        self._site_count[site] = count + 1
+
+        if op.form == "base_update":
+            old, new = self._walk_pointer(op, site, pc0)
+            ea = new if op.pre_index else old
+            self._emit(
+                CvpRecord(
+                    pc=pc1,
+                    inst_class=InstClass.STORE,
+                    src_regs=op.src_regs + (op.base_reg,),
+                    dst_regs=(op.base_reg,),
+                    dst_values=(new,),
+                    mem_address=ea,
+                    mem_size=op.size,
+                )
+            )
+            return
+
+        ea = self._region_address(op, count)
+        self._emit_alu(
+            pc0,
+            dst_regs=(ADDRESS_REG,),
+            src_regs=(op.base_reg, SCRATCH_REGS[2]),
+            values=(ea,),
+        )
+        if op.form == "dc_zva":
+            self._emit(
+                CvpRecord(
+                    pc=pc1,
+                    inst_class=InstClass.STORE,
+                    src_regs=(ADDRESS_REG,),
+                    mem_address=ea,
+                    mem_size=64,
+                )
+            )
+            return
+        dsts = op.dst_regs if op.form == "exclusive" else ()
+        self._emit(
+            CvpRecord(
+                pc=pc1,
+                inst_class=InstClass.STORE,
+                src_regs=op.src_regs + (ADDRESS_REG,),
+                dst_regs=dsts,
+                dst_values=tuple(0 for _ in dsts),
+                mem_address=ea,
+                mem_size=op.size,
+            )
+        )
+
+    def _emit_body_op(self, op: OpTemplate, site: Tuple[int, int, int]) -> None:
+        func, block, slot = site
+        pc = self.program.body_pc(func, block, slot, 0)
+        if op.kind == "load":
+            self._emit_load(op, site)
+        elif op.kind == "store":
+            self._emit_store(op, site)
+        elif op.kind == "alu":
+            self._emit_alu(pc, op.dst_regs, op.src_regs)
+        elif op.kind == "alu_cmp":
+            self._emit_alu(pc, (), op.src_regs)
+        elif op.kind == "slow_alu":
+            self._emit_alu(pc, op.dst_regs, op.src_regs, inst_class=InstClass.SLOW_ALU)
+        elif op.kind == "fp":
+            self._emit_alu(pc, op.dst_regs, op.src_regs, inst_class=InstClass.FP)
+        elif op.kind == "fp_cmp":
+            self._emit_alu(pc, (), op.src_regs, inst_class=InstClass.FP)
+        else:  # pragma: no cover - template kinds are closed
+            raise ValueError(f"unknown template kind {op.kind!r}")
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+
+    def _run_body(self, func: int, block_idx: int, block: Block) -> None:
+        for slot, op in enumerate(block.body):
+            self._emit_body_op(op, (func, block_idx, slot))
+
+    def _emit_cond_branch(
+        self,
+        func: int,
+        block_idx: int,
+        term: Terminator,
+        taken: bool,
+        target: int,
+        test_reg: int,
+        cmp_slot: int = 0,
+    ) -> None:
+        """Emit a conditional branch in its profile-selected form."""
+        pc = self.program.terminator_pc(func, block_idx)
+        if term.form == "reg":
+            # cb(n)z-style: the branch itself reads the tested register.
+            self._emit_branch(
+                pc, InstClass.COND_BRANCH, taken, target, src_regs=(test_reg,)
+            )
+        else:
+            # Flag-style: a zero-destination compare (flags are not traced)
+            # followed by a source-less conditional branch.
+            cmp_pc = self.program.setup_pc(func, block_idx, cmp_slot)
+            self._emit_alu(cmp_pc, (), (test_reg,))
+            self._emit_branch(pc, InstClass.COND_BRANCH, taken, target)
+
+    def _branch_direction(self, term: Terminator) -> bool:
+        if term.behavior == "biased":
+            return self._rng.random() < term.bias
+        # 'random' and 'load_dep' are coin flips: load_dep differs only in
+        # *which register* the branch reads (a fresh load result).
+        return self._rng.random() < 0.5
+
+    def _select_indirect_callee(self, func: int, block_idx: int) -> int:
+        """Rotate over a per-site subset of the indirect-target table."""
+        key = (func, block_idx)
+        rotor = self._site_rotor.get(key, 0)
+        self._site_rotor[key] = rotor + 1
+        targets = self.program.indirect_targets
+        # Each site rotates through the target table in short repeats:
+        # indirect predictors can learn the repeats, and the rotation
+        # sweeps the code footprint (with occasional random excursions).
+        if self._rng.random() < 0.05:
+            return targets[self._rng.randrange(len(targets))]
+        return targets[(hash(key) + rotor // 6) % len(targets)]
+
+    def _run_call(
+        self, func: int, block_idx: int, term: Terminator, depth: int
+    ) -> None:
+        if depth + 1 >= MAX_CALL_DEPTH:
+            return  # too deep: skip the call entirely
+        pc = self.program.terminator_pc(func, block_idx)
+        return_addr = pc + 4
+
+        if term.form == "direct":
+            callee = term.callee
+            self._emit_branch(
+                pc,
+                InstClass.UNCOND_DIRECT_BRANCH,
+                True,
+                self.program.function_entry(callee),
+                dst_regs=(LINK_REGISTER,),
+                values=(return_addr,),
+            )
+        else:
+            callee = self._select_indirect_callee(func, block_idx)
+            entry = self.program.function_entry(callee)
+            # Function-pointer staging reads the other (cold) target
+            # register: target computation chains among call setups, so a
+            # mispredicted indirect call resolves quickly — its cost is
+            # the misprediction itself, not an unrelated load.
+            stage_src = TARGET_REGS[(TARGET_REGS.index(term.test_reg) + 1) % 2] \
+                if term.test_reg in TARGET_REGS else TARGET_REGS[0]
+            if term.form == "indirect_x30":
+                # Stage the function pointer in X30 itself, producing the
+                # BLR X30 pattern the original converter misclassifies.
+                setup_pc = self.program.setup_pc(func, block_idx, 1)
+                self._emit_alu(
+                    setup_pc, (LINK_REGISTER,), (stage_src,), values=(entry,)
+                )
+                src_reg = LINK_REGISTER
+            else:
+                setup_pc = self.program.setup_pc(func, block_idx, 1)
+                self._emit_alu(
+                    setup_pc, (term.test_reg,), (stage_src,), values=(entry,)
+                )
+                src_reg = term.test_reg
+            self._emit_branch(
+                pc,
+                InstClass.UNCOND_INDIRECT_BRANCH,
+                True,
+                entry,
+                src_regs=(src_reg,),
+                dst_regs=(LINK_REGISTER,),
+                values=(return_addr,),
+            )
+
+        self._run_function(callee, depth + 1, return_addr)
+
+    def _emit_return(self, func: int, depth: int, return_addr: int) -> None:
+        last_block = len(self.program.functions[func].blocks) - 1
+        # Epilogue: reload the link register from the stack frame, then RET.
+        restore_pc = self.program.setup_pc(func, last_block, 2)
+        self._emit(
+            CvpRecord(
+                pc=restore_pc,
+                inst_class=InstClass.LOAD,
+                src_regs=(ADDRESS_REG,),
+                dst_regs=(LINK_REGISTER,),
+                dst_values=(return_addr,),
+                mem_address=STACK_BASE - depth * 64,
+                mem_size=8,
+            )
+        )
+        pc = self.program.terminator_pc(func, last_block)
+        self._emit_branch(
+            pc,
+            InstClass.UNCOND_INDIRECT_BRANCH,
+            True,
+            return_addr,
+            src_regs=(LINK_REGISTER,),
+        )
+
+    def _run_function(self, func: int, depth: int, return_addr: int = 0) -> None:
+        function = self.program.functions[func]
+        num_blocks = len(function.blocks)
+        block_idx = 0
+        while block_idx < num_blocks:
+            block = function.blocks[block_idx]
+            term = block.terminator
+
+            if term.kind == "loop":
+                trips = self._rng.randint(*term.trip_range)
+                back_target = self.program.block_start(func, block_idx)
+                for trip in range(trips):
+                    self._run_body(func, block_idx, block)
+                    # Loop-counter decrement feeding the back-edge branch.
+                    dec_pc = self.program.setup_pc(func, block_idx, 0)
+                    self._emit_alu(
+                        dec_pc,
+                        (LOOP_REG,),
+                        (LOOP_REG,),
+                        values=(trips - trip - 1,),
+                    )
+                    taken = trip < trips - 1
+                    self._emit_cond_branch(
+                        func, block_idx, term, taken, back_target, LOOP_REG,
+                        cmp_slot=1,
+                    )
+                block_idx += 1
+                continue
+
+            self._run_body(func, block_idx, block)
+
+            if term.kind == "skip":
+                taken = self._branch_direction(term)
+                target = self.program.block_start(func, block_idx + 2)
+                self._emit_cond_branch(
+                    func, block_idx, term, taken, target, term.test_reg
+                )
+                block_idx += 2 if taken else 1
+            elif term.kind == "call":
+                self._run_call(func, block_idx, term, depth)
+                block_idx += 1
+            elif term.kind == "jump":
+                pc = self.program.terminator_pc(func, block_idx)
+                target = self.program.block_start(func, block_idx + 1)
+                self._emit_branch(pc, InstClass.UNCOND_DIRECT_BRANCH, True, target)
+                block_idx += 1
+            elif term.kind == "fall":
+                block_idx += 1
+            elif term.kind == "ret":
+                if depth == 0:
+                    # The top-level function loops forever instead of
+                    # returning (there is nowhere to return to).
+                    pc = self.program.terminator_pc(func, block_idx)
+                    self._emit_branch(
+                        pc,
+                        InstClass.UNCOND_DIRECT_BRANCH,
+                        True,
+                        self.program.function_entry(func),
+                    )
+                    return
+                self._emit_return(func, depth, return_addr)
+                return
+            else:  # pragma: no cover - terminator kinds are closed
+                raise ValueError(f"unknown terminator {term.kind!r}")
+        # Fell off the last block without an explicit ret (can happen when
+        # a 'skip' jumps past it): synthesise the return.
+        if depth == 0:
+            return
+        self._emit_return(func, depth, return_addr)
+
+
+def make_trace(
+    name: str,
+    instructions: int = 20_000,
+    seed: Optional[Union[int, str]] = None,
+) -> List[CvpRecord]:
+    """Generate the named synthetic trace (profile derived from ``name``)."""
+    return TraceGenerator(name, seed=seed).generate(instructions)

@@ -1,0 +1,336 @@
+"""Workload profiles: the knobs behind the synthetic CVP-1 categories.
+
+A :class:`WorkloadProfile` fully parameterises a synthetic trace.  Four
+base profiles model the CVP-1 categories; :func:`profile_for_trace`
+derives a per-trace variant deterministically from the trace name, so the
+suite spans ranges of each feature the way the real 135-trace suite does
+(the paper shows, e.g., that only a subset of traces contain the
+misclassified X30 calls, and that base-update load fractions range from
+~0 to ~15%).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Every knob of the synthetic workload generator.
+
+    Instruction-mix fractions are of all dynamic instructions; feature
+    fractions (e.g. ``base_update_load_frac``) are of the instruction kind
+    they qualify.
+    """
+
+    name: str
+    category: str
+
+    # --- static code shape -------------------------------------------
+    #: Number of functions in the synthetic program (code footprint).
+    num_functions: int = 24
+    #: Basic blocks per function.
+    blocks_per_function: int = 6
+    #: Straight-line instructions per block (before the terminator).
+    block_body_len: int = 8
+
+    # --- dynamic instruction mix --------------------------------------
+    load_frac: float = 0.22
+    store_frac: float = 0.10
+    fp_frac: float = 0.05
+    slow_alu_frac: float = 0.02
+
+    # --- branch behaviour ----------------------------------------------
+    #: Fraction of conditional branches that are loop back-edges
+    #: (near-perfectly predictable).
+    loop_branch_frac: float = 0.5
+    #: Fraction of the *remaining* conditional branches that are strongly
+    #: biased (predictable); the rest are data-dependent coin flips.
+    biased_branch_frac: float = 0.9
+    #: Taken probability of a biased branch.
+    bias: float = 0.985
+    #: Fraction of conditional branches of the cb(n)z/tb(n)z kind: they
+    #: carry a general-purpose source register in the CVP-1 trace.  The
+    #: rest test the (untraced) flag register set by a zero-destination
+    #: compare.
+    reg_source_branch_frac: float = 0.3
+    #: Fraction of conditional branches whose test value comes straight
+    #: from a load (the paper's worst case for branch-regs/flag-reg:
+    #: misprediction penalty exposed behind a long-latency load).
+    load_dependent_branch_frac: float = 0.06
+    #: Loop trip counts are drawn from [2, max_loop_trip].
+    max_loop_trip: int = 16
+
+    # --- call behaviour --------------------------------------------------
+    #: Probability that a block terminator is a call.
+    call_frac: float = 0.10
+    #: Fraction of calls that are indirect (through a register).
+    indirect_call_frac: float = 0.15
+    #: Fraction of *indirect* calls that read the target from X30
+    #: (BLR X30) — the call-stack misclassification driver.  Zero for
+    #: most traces, large for the affected subset.
+    x30_indirect_call_frac: float = 0.0
+
+    # --- memory behaviour -------------------------------------------------
+    #: Fraction of loads performing a base-register update.
+    base_update_load_frac: float = 0.08
+    #: ... of which pre-indexing (the rest post-indexing).
+    pre_index_frac: float = 0.4
+    #: Fraction of stores performing a base-register update.
+    base_update_store_frac: float = 0.04
+    #: Fraction of loads that are load-pairs (two destinations).
+    load_pair_frac: float = 0.08
+    #: Fraction of loads that are vector loads (2-3 destinations, SIMD).
+    vector_load_frac: float = 0.02
+    #: Fraction of loads that are software prefetches (no destination).
+    prefetch_load_frac: float = 0.03
+    #: Fraction of loads that feed a pointer chase (dependent chain of
+    #: cache-missing loads — where base-update matters most).
+    pointer_chase_frac: float = 0.10
+    #: Fraction of loads/stores with effectively random addresses within
+    #: the data footprint (cache-hostile); the rest stream.
+    random_access_frac: float = 0.12
+    #: Fraction of memory accesses deliberately misaligned so that their
+    #: footprint crosses a cacheline.
+    line_crossing_frac: float = 0.003
+    #: Fraction of stores that are DC ZVA (64-byte zeroing).
+    dc_zva_frac: float = 0.01
+    #: Data footprint in 64-byte cachelines (drives L1D/L2/LLC misses).
+    data_footprint_lines: int = 4096
+    #: Fraction of ALU instructions that are compares/tests with no
+    #: destination register (flag-reg improvement targets).
+    zero_dst_alu_frac: float = 0.12
+
+    def __post_init__(self) -> None:
+        mix = self.load_frac + self.store_frac + self.fp_frac + self.slow_alu_frac
+        if mix >= 0.9:
+            raise ValueError(f"instruction mix sums to {mix:.2f}; leave room for ALU")
+        for field_name in (
+            "load_frac",
+            "store_frac",
+            "fp_frac",
+            "slow_alu_frac",
+            "loop_branch_frac",
+            "biased_branch_frac",
+            "bias",
+            "reg_source_branch_frac",
+            "load_dependent_branch_frac",
+            "call_frac",
+            "indirect_call_frac",
+            "x30_indirect_call_frac",
+            "base_update_load_frac",
+            "pre_index_frac",
+            "base_update_store_frac",
+            "load_pair_frac",
+            "vector_load_frac",
+            "prefetch_load_frac",
+            "pointer_chase_frac",
+            "line_crossing_frac",
+            "dc_zva_frac",
+            "zero_dst_alu_frac",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name}={value} outside [0, 1]")
+
+
+#: Base profile per CVP-1 workload category.  The category differences
+#: follow the paper's characterisation: servers have huge instruction
+#: footprints and low branch MPKI; compute INT is branchy; compute FP is
+#: loopy and regular; crypto is ALU-dense with predictable control flow.
+CATEGORY_PROFILES: Dict[str, WorkloadProfile] = {
+    "compute_int": WorkloadProfile(
+        name="compute_int",
+        category="compute_int",
+        num_functions=120,
+        blocks_per_function=7,
+        block_body_len=5,
+        load_frac=0.24,
+        store_frac=0.09,
+        fp_frac=0.01,
+        loop_branch_frac=0.35,
+        biased_branch_frac=0.88,
+        reg_source_branch_frac=0.28,
+        load_dependent_branch_frac=0.12,
+        base_update_load_frac=0.05,
+        pointer_chase_frac=0.04,
+        random_access_frac=0.08,
+        data_footprint_lines=4096,
+        zero_dst_alu_frac=0.16,
+    ),
+    "compute_fp": WorkloadProfile(
+        name="compute_fp",
+        category="compute_fp",
+        num_functions=20,
+        blocks_per_function=5,
+        block_body_len=10,
+        load_frac=0.28,
+        store_frac=0.12,
+        fp_frac=0.30,
+        loop_branch_frac=0.8,
+        biased_branch_frac=0.95,
+        reg_source_branch_frac=0.2,
+        load_dependent_branch_frac=0.02,
+        base_update_load_frac=0.08,
+        load_pair_frac=0.14,
+        vector_load_frac=0.08,
+        pointer_chase_frac=0.01,
+        random_access_frac=0.04,
+        data_footprint_lines=8192,
+        zero_dst_alu_frac=0.05,
+    ),
+    "crypto": WorkloadProfile(
+        name="crypto",
+        category="crypto",
+        num_functions=10,
+        blocks_per_function=5,
+        block_body_len=12,
+        load_frac=0.16,
+        store_frac=0.07,
+        fp_frac=0.10,
+        slow_alu_frac=0.05,
+        loop_branch_frac=0.85,
+        biased_branch_frac=0.97,
+        load_dependent_branch_frac=0.01,
+        base_update_load_frac=0.06,
+        load_pair_frac=0.12,
+        pointer_chase_frac=0.0,
+        random_access_frac=0.02,
+        data_footprint_lines=512,
+        zero_dst_alu_frac=0.04,
+    ),
+    "srv": WorkloadProfile(
+        name="srv",
+        category="srv",
+        num_functions=420,
+        blocks_per_function=12,
+        block_body_len=8,
+        load_frac=0.24,
+        store_frac=0.11,
+        fp_frac=0.01,
+        loop_branch_frac=0.3,
+        biased_branch_frac=0.93,
+        reg_source_branch_frac=0.25,
+        load_dependent_branch_frac=0.09,
+        call_frac=0.16,
+        indirect_call_frac=0.30,
+        base_update_load_frac=0.07,
+        pointer_chase_frac=0.03,
+        random_access_frac=0.08,
+        data_footprint_lines=6144,
+        zero_dst_alu_frac=0.14,
+    ),
+}
+
+#: Which category a trace-name prefix selects.
+_PREFIXES = {
+    "compute_int": "compute_int",
+    "compute_fp": "compute_fp",
+    "crypto": "crypto",
+    "srv": "srv",
+    # IPC-1 naming (Table 2 left column) maps onto the same categories.
+    "client": "compute_int",
+    "server": "srv",
+    "spec": "compute_int",
+    "secret_int": "compute_int",
+    "secret_fp": "compute_fp",
+    "secret_srv": "srv",
+    "secret_crypto": "crypto",
+}
+
+
+def category_of(trace_name: str) -> str:
+    """Category implied by a trace name's prefix."""
+    for prefix in sorted(_PREFIXES, key=len, reverse=True):
+        if trace_name.startswith(prefix):
+            return _PREFIXES[prefix]
+    raise ValueError(f"cannot infer workload category from {trace_name!r}")
+
+
+#: Traces the paper explicitly names as suffering the call-stack bug
+#: (``srv_3``, ``srv_62`` in Section 3.2.1; ``server_001`` — i.e.
+#: ``secret_srv160`` — sees the largest target-MPKI reduction in
+#: Section 4.3).  These always get BLR-X30 indirect calls.
+AFFECTED_X30_TRACES = frozenset({"srv_3", "srv_62", "secret_srv160"})
+
+
+def _jitter(rng: random.Random, value: float, spread: float, lo: float, hi: float) -> float:
+    """Multiplicative jitter of ``value`` by up to ±spread, clamped."""
+    return min(hi, max(lo, value * rng.uniform(1.0 - spread, 1.0 + spread)))
+
+
+def profile_for_trace(trace_name: str) -> WorkloadProfile:
+    """Deterministic per-trace profile, derived from the category base.
+
+    Every trace name always produces the same profile.  The jitter is wide
+    enough that the suite covers the paper's per-feature ranges, and a
+    deterministic minority of traces get the "affected" behaviours:
+
+    - ~1 in 6 server-ish traces (and a few compute ones) use BLR X30
+      indirect calls, reproducing the 10-of-50 / subset-of-135 footprint
+      of the call-stack bug;
+    - base-update load fractions spread from ~0 to ~2x the category base;
+    - branch predictability spreads to cover the Figure 3 MPKI axis.
+    """
+    category = category_of(trace_name)
+    base = CATEGORY_PROFILES[category]
+    rng = random.Random(f"profile:{trace_name}")
+
+    x30_frac = 0.0
+    affected_roll = rng.random()
+    threshold = 0.18 if category == "srv" else 0.06
+    if trace_name in AFFECTED_X30_TRACES:
+        x30_frac = rng.uniform(0.6, 0.95)
+    elif affected_roll < threshold:
+        x30_frac = rng.uniform(0.5, 0.95)
+
+    # Log-uniform footprint spread: the paper's Table 2 spans traces with
+    # essentially cache-resident data (L1D MPKI 0.4) up to DRAM-bound ones
+    # (L1D MPKI ~180), so the suite needs orders-of-magnitude diversity.
+    footprint_scale = math.exp(rng.uniform(math.log(0.02), math.log(2.5)))
+    return replace(
+        base,
+        name=trace_name,
+        num_functions=max(2, int(base.num_functions * rng.uniform(0.5, 2.0))),
+        blocks_per_function=max(
+            2, int(base.blocks_per_function * rng.uniform(0.7, 1.5))
+        ),
+        load_frac=_jitter(rng, base.load_frac, 0.3, 0.05, 0.4),
+        store_frac=_jitter(rng, base.store_frac, 0.3, 0.02, 0.25),
+        loop_branch_frac=_jitter(rng, base.loop_branch_frac, 0.4, 0.05, 0.95),
+        biased_branch_frac=_jitter(rng, base.biased_branch_frac, 0.08, 0.8, 0.99),
+        # Multiplicative 0-3x spread: most traces have few load-dependent
+        # branches, a minority many (the Figure 3 tail).
+        load_dependent_branch_frac=min(
+            0.35, base.load_dependent_branch_frac * rng.uniform(0.0, 1.8)
+        ),
+        reg_source_branch_frac=_jitter(
+            rng, base.reg_source_branch_frac, 0.5, 0.05, 0.9
+        ),
+        indirect_call_frac=(
+            max(0.35, _jitter(rng, base.indirect_call_frac, 0.5, 0.0, 0.6))
+            if x30_frac > 0
+            else _jitter(rng, base.indirect_call_frac, 0.5, 0.0, 0.6)
+        ),
+        x30_indirect_call_frac=x30_frac,
+        # Wide multiplicative spread: the suite must cover the paper's
+        # Figure 4 x-axis (base-update loads from ~0% to ~10% of all
+        # instructions).
+        base_update_load_frac=min(
+            0.7, base.base_update_load_frac * rng.uniform(0.05, 3.5)
+        ),
+        base_update_store_frac=min(
+            0.4, base.base_update_store_frac * rng.uniform(0.05, 4.0)
+        ),
+        load_pair_frac=_jitter(rng, base.load_pair_frac, 0.5, 0.0, 0.3),
+        pointer_chase_frac=min(0.4, base.pointer_chase_frac * rng.uniform(0.0, 3.0)),
+        random_access_frac=_jitter(rng, base.random_access_frac, 0.7, 0.0, 0.5),
+        line_crossing_frac=_jitter(rng, base.line_crossing_frac, 0.8, 0.0, 0.02),
+        data_footprint_lines=max(
+            64, int(base.data_footprint_lines * footprint_scale)
+        ),
+        zero_dst_alu_frac=_jitter(rng, base.zero_dst_alu_frac, 0.5, 0.01, 0.35),
+    )

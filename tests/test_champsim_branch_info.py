@@ -1,0 +1,108 @@
+"""ChampSim branch-type deduction tests — original and patched rules.
+
+These encode the register signatures from the paper's Section 3.2: which
+combination of IP/SP/FLAGS/other reads and writes maps to which of the
+six branch types, and how the two paper patches change the outcome.
+"""
+
+import pytest
+
+from repro.champsim.branch_info import BranchRules, BranchType, deduce_branch_type
+from repro.champsim.regs import (
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER as IP,
+    REG_STACK_POINTER as SP,
+)
+from repro.champsim.trace import ChampSimInstr
+
+OTHER = 31  # any non-special register id
+
+
+def br(src=(), dst=(), is_branch=True):
+    return ChampSimInstr(
+        ip=0x1000, is_branch=is_branch, branch_taken=True, src_regs=src, dst_regs=dst
+    )
+
+
+@pytest.mark.parametrize("rules", list(BranchRules))
+def test_non_branch_flag_gates_everything(rules):
+    instr = br(src=(IP,), dst=(IP,), is_branch=False)
+    assert deduce_branch_type(instr, rules) is BranchType.NOT_BRANCH
+
+
+@pytest.mark.parametrize("rules", list(BranchRules))
+def test_direct_jump(rules):
+    assert deduce_branch_type(br(dst=(IP,)), rules) is BranchType.DIRECT_JUMP
+
+
+@pytest.mark.parametrize("rules", list(BranchRules))
+def test_indirect_jump(rules):
+    instr = br(src=(OTHER,), dst=(IP,))
+    assert deduce_branch_type(instr, rules) is BranchType.INDIRECT
+
+
+@pytest.mark.parametrize("rules", list(BranchRules))
+def test_conditional_with_flags(rules):
+    instr = br(src=(IP, REG_FLAGS), dst=(IP,))
+    assert deduce_branch_type(instr, rules) is BranchType.CONDITIONAL
+
+
+@pytest.mark.parametrize("rules", list(BranchRules))
+def test_direct_call(rules):
+    instr = br(src=(IP, SP), dst=(IP, SP))
+    assert deduce_branch_type(instr, rules) is BranchType.DIRECT_CALL
+
+
+@pytest.mark.parametrize("rules", list(BranchRules))
+def test_indirect_call(rules):
+    instr = br(src=(IP, SP, OTHER), dst=(IP, SP))
+    assert deduce_branch_type(instr, rules) is BranchType.INDIRECT_CALL
+
+
+@pytest.mark.parametrize("rules", list(BranchRules))
+def test_return(rules):
+    instr = br(src=(SP,), dst=(IP, SP))
+    assert deduce_branch_type(instr, rules) is BranchType.RETURN
+
+
+def test_return_with_extra_source_still_return():
+    # branch-regs adds X30 to returns; the rule ignores other reads.
+    instr = br(src=(SP, OTHER), dst=(IP, SP))
+    assert deduce_branch_type(instr, BranchRules.PATCHED) is BranchType.RETURN
+    assert deduce_branch_type(instr, BranchRules.ORIGINAL) is BranchType.RETURN
+
+
+def test_paper_patch_1_conditional_reading_registers():
+    """A conditional that reads a GPR instead of flags (branch-regs).
+
+    Original rules misclassify it as an indirect jump (checked first);
+    the patched rules classify it as conditional because (a) indirect now
+    requires not reading IP and (b) conditional accepts flags *or* other.
+    """
+    instr = br(src=(IP, OTHER), dst=(IP,))
+    assert deduce_branch_type(instr, BranchRules.ORIGINAL) is BranchType.INDIRECT
+    assert deduce_branch_type(instr, BranchRules.PATCHED) is BranchType.CONDITIONAL
+
+
+def test_paper_patch_order_indirect_before_conditional():
+    # A true indirect (no IP read) stays indirect under both rule sets.
+    instr = br(src=(OTHER,), dst=(IP,))
+    assert deduce_branch_type(instr, BranchRules.PATCHED) is BranchType.INDIRECT
+
+
+def test_conditional_reading_flags_and_other_original_rules():
+    # Original: conditional requires flags and *nothing else* → falls
+    # through every pattern → OTHER.
+    instr = br(src=(IP, REG_FLAGS, OTHER), dst=(IP,))
+    assert deduce_branch_type(instr, BranchRules.ORIGINAL) is BranchType.OTHER
+    assert deduce_branch_type(instr, BranchRules.PATCHED) is BranchType.CONDITIONAL
+
+
+def test_unmatched_signature_is_other():
+    instr = br(src=(REG_FLAGS,), dst=(SP,))
+    assert deduce_branch_type(instr, BranchRules.ORIGINAL) is BranchType.OTHER
+
+
+def test_direct_jump_requires_no_flag_read():
+    instr = br(src=(REG_FLAGS,), dst=(IP,))
+    assert deduce_branch_type(instr, BranchRules.ORIGINAL) is not BranchType.DIRECT_JUMP

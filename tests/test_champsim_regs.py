@@ -1,0 +1,50 @@
+"""Register mapping tests."""
+
+from repro.champsim.regs import (
+    REG_FLAGS,
+    REG_FORGED_X0,
+    REG_INSTRUCTION_POINTER,
+    REG_OTHER_INFO,
+    REG_STACK_POINTER,
+    champsim_reg,
+    is_special_reg,
+)
+
+
+def test_special_register_values_match_champsim():
+    assert REG_STACK_POINTER == 6
+    assert REG_FLAGS == 25
+    assert REG_INSTRUCTION_POINTER == 26
+
+
+def test_mapping_is_injective_over_architectural_range():
+    mapped = [champsim_reg(r) for r in range(64)]
+    assert len(set(mapped)) == 64
+
+
+def test_mapping_never_produces_special_or_zero():
+    for reg in range(64):
+        mapped = champsim_reg(reg)
+        assert mapped != 0
+        assert not is_special_reg(mapped)
+
+
+def test_mapping_fits_in_trace_byte():
+    assert all(0 < champsim_reg(r) < 256 for r in range(64))
+
+
+def test_collisions_are_displaced():
+    # X5 would map to 6 (the stack pointer): displaced upward.
+    assert champsim_reg(5) == 6 + 64
+    assert champsim_reg(24) == 25 + 64
+    assert champsim_reg(25) == 26 + 64
+
+
+def test_non_colliding_registers_map_plus_one():
+    assert champsim_reg(0) == 1
+    assert champsim_reg(30) == 31  # X30, the link register
+
+
+def test_pseudo_registers():
+    assert REG_OTHER_INFO == champsim_reg(56)
+    assert REG_FORGED_X0 == champsim_reg(0)

@@ -1,0 +1,185 @@
+"""Converter tests for branch handling (paper Section 3.2)."""
+
+from repro.champsim.branch_info import BranchRules, BranchType, deduce_branch_type
+from repro.champsim.regs import (
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER as IP,
+    REG_OTHER_INFO,
+    REG_STACK_POINTER as SP,
+    champsim_reg,
+)
+from repro.core.convert import Converter, convert_trace
+from repro.core.improvements import Improvement
+from repro.cvp.isa import InstClass, LINK_REGISTER
+
+from tests.conftest import blr_x30, branch, ret
+
+
+def one(records, improvements=Improvement.NONE):
+    out = convert_trace(records, improvements)
+    assert len(out) == 1
+    return out[0]
+
+
+def deduced(record, improvements=Improvement.NONE):
+    converter = Converter(improvements)
+    instrs = converter.convert_record(record)
+    assert len(instrs) == 1
+    return deduce_branch_type(instrs[0], converter.required_branch_rules)
+
+
+# ------------------------------------------------------------------ original
+
+
+def test_conditional_branch_signature():
+    instr = one([branch()])
+    assert instr.is_branch
+    assert instr.src_regs == (IP, REG_FLAGS)
+    assert instr.dst_regs == (IP,)
+    assert deduced(branch()) is BranchType.CONDITIONAL
+
+
+def test_direct_jump_signature():
+    record = branch(cls=InstClass.UNCOND_DIRECT_BRANCH)
+    instr = one([record])
+    assert instr.src_regs == ()
+    assert instr.dst_regs == (IP,)
+    assert deduced(record) is BranchType.DIRECT_JUMP
+
+
+def test_direct_call_signature():
+    record = branch(
+        cls=InstClass.UNCOND_DIRECT_BRANCH,
+        dsts=(LINK_REGISTER,),
+        values=(0x1004,),
+    )
+    instr = one([record])
+    assert deduced(record) is BranchType.DIRECT_CALL
+    # Known limitation: X30 cannot also be a destination (two slots).
+    assert champsim_reg(LINK_REGISTER) not in instr.dst_regs
+
+
+def test_indirect_jump_uses_x56_in_original():
+    record = branch(cls=InstClass.UNCOND_INDIRECT_BRANCH, srcs=(9,))
+    instr = one([record])
+    assert instr.src_regs == (REG_OTHER_INFO,)
+    assert deduced(record) is BranchType.INDIRECT
+
+
+def test_return_signature():
+    instr = one([ret()])
+    assert instr.src_regs == (SP,)
+    assert instr.dst_regs == (IP, SP)
+    assert deduced(ret()) is BranchType.RETURN
+
+
+def test_original_misclassifies_blr_x30_as_return():
+    """The call-stack bug: reads+writes X30 → typed as a return."""
+    converter = Converter(Improvement.NONE)
+    instrs = converter.convert_record(blr_x30())
+    assert (
+        deduce_branch_type(instrs[0], converter.required_branch_rules)
+        is BranchType.RETURN
+    )
+    assert converter.stats.misclassified_returns_emitted == 1
+
+
+def test_indirect_call_signature():
+    record = branch(
+        cls=InstClass.UNCOND_INDIRECT_BRANCH,
+        srcs=(9,),
+        dsts=(LINK_REGISTER,),
+        values=(0x1004,),
+    )
+    assert deduced(record) is BranchType.INDIRECT_CALL
+
+
+def test_branch_taken_forced_for_unconditional():
+    record = branch(cls=InstClass.UNCOND_DIRECT_BRANCH, taken=True)
+    assert one([record]).branch_taken
+
+
+# ------------------------------------------------------------- call-stack
+
+
+def test_call_stack_fixes_blr_x30():
+    converter = Converter(Improvement.CALL_STACK)
+    instrs = converter.convert_record(blr_x30())
+    assert (
+        deduce_branch_type(instrs[0], converter.required_branch_rules)
+        is BranchType.INDIRECT_CALL
+    )
+    assert converter.stats.misclassified_calls_fixed == 1
+
+
+def test_call_stack_keeps_real_returns():
+    assert deduced(ret(), Improvement.CALL_STACK) is BranchType.RETURN
+
+
+def test_call_stack_keeps_indirect_jumps():
+    record = branch(cls=InstClass.UNCOND_INDIRECT_BRANCH, srcs=(9,))
+    assert deduced(record, Improvement.CALL_STACK) is BranchType.INDIRECT
+
+
+# ------------------------------------------------------------ branch-regs
+
+
+def test_branch_regs_keeps_conditional_sources():
+    """cb(n)z: the real source replaces the flag register."""
+    record = branch(srcs=(9,))
+    instr = one([record], Improvement.BRANCH_REGS)
+    assert champsim_reg(9) in instr.src_regs
+    assert REG_FLAGS not in instr.src_regs
+    assert deduced(record, Improvement.BRANCH_REGS) is BranchType.CONDITIONAL
+
+
+def test_branch_regs_keeps_flags_when_no_sources():
+    record = branch()
+    instr = one([record], Improvement.BRANCH_REGS)
+    assert instr.src_regs == (IP, REG_FLAGS)
+
+
+def test_branch_regs_replaces_x56_on_indirects():
+    record = branch(cls=InstClass.UNCOND_INDIRECT_BRANCH, srcs=(9,))
+    instr = one([record], Improvement.BRANCH_REGS)
+    assert REG_OTHER_INFO not in instr.src_regs
+    assert champsim_reg(9) in instr.src_regs
+    assert deduced(record, Improvement.BRANCH_REGS) is BranchType.INDIRECT
+
+
+def test_branch_regs_requires_patched_rules():
+    assert Converter(Improvement.BRANCH_REGS).required_branch_rules is (
+        BranchRules.PATCHED
+    )
+    assert Converter(Improvement.NONE).required_branch_rules is (
+        BranchRules.ORIGINAL
+    )
+
+
+def test_branch_regs_preserves_return_dependency():
+    instr = one([ret()], Improvement.BRANCH_REGS)
+    assert champsim_reg(LINK_REGISTER) in instr.src_regs
+    assert deduced(ret(), Improvement.BRANCH_REGS) is BranchType.RETURN
+
+
+def test_branch_regs_source_truncation_counted():
+    record = branch(
+        cls=InstClass.UNCOND_INDIRECT_BRANCH,
+        srcs=(1, 2, 3, 4, 5),
+        dsts=(LINK_REGISTER,),
+        values=(0,),
+    )
+    converter = Converter(Improvement.BRANCH_REGS)
+    instrs = converter.convert_record(record)
+    assert len(instrs[0].src_regs) == 4
+    assert converter.stats.src_regs_truncated > 0
+
+
+def test_indirect_call_with_sources_still_deduced_correctly():
+    record = branch(
+        cls=InstClass.UNCOND_INDIRECT_BRANCH,
+        srcs=(9,),
+        dsts=(LINK_REGISTER,),
+        values=(0,),
+    )
+    assert deduced(record, Improvement.BRANCH_REGS) is BranchType.INDIRECT_CALL

@@ -1,0 +1,80 @@
+"""Converter tests for the flag-reg improvement (paper Section 3.2.3)."""
+
+from repro.champsim.regs import REG_FLAGS, REG_FORGED_X0, champsim_reg
+from repro.core.convert import Converter, convert_trace
+from repro.core.improvements import Improvement
+from repro.cvp.isa import InstClass
+
+from tests.conftest import alu, load, store
+
+
+def test_flag_reg_adds_flags_to_zero_dst_alu():
+    record = alu(dsts=(), values=(), srcs=(1, 2))
+    converter = Converter(Improvement.FLAG_REG)
+    instr = converter.convert_record(record)[0]
+    assert instr.dst_regs == (REG_FLAGS,)
+    assert converter.stats.flag_dsts_added == 1
+
+
+def test_flag_reg_adds_flags_to_zero_dst_fp():
+    record = alu(dsts=(), values=(), srcs=(33, 34), cls=InstClass.FP)
+    instr = convert_trace([record], Improvement.FLAG_REG)[0]
+    assert instr.dst_regs == (REG_FLAGS,)
+
+
+def test_flag_reg_adds_flags_to_zero_dst_slow_alu():
+    record = alu(dsts=(), values=(), srcs=(1,), cls=InstClass.SLOW_ALU)
+    instr = convert_trace([record], Improvement.FLAG_REG)[0]
+    assert instr.dst_regs == (REG_FLAGS,)
+
+
+def test_flag_reg_leaves_alu_with_destination_alone():
+    record = alu(dsts=(3,), srcs=(1, 2))
+    instr = convert_trace([record], Improvement.FLAG_REG)[0]
+    assert instr.dst_regs == (champsim_reg(3),)
+
+
+def test_flag_reg_does_not_touch_memory_instructions():
+    record = load(dsts=(), values=(), srcs=(2,))
+    instr = convert_trace([record], Improvement.FLAG_REG)[0]
+    # Memory zero-dst handling stays the original forged X0.
+    assert instr.dst_regs == (REG_FORGED_X0,)
+
+
+def test_without_flag_reg_compare_gets_forged_x0():
+    record = alu(dsts=(), values=(), srcs=(1, 2))
+    instr = convert_trace([record], Improvement.NONE)[0]
+    assert instr.dst_regs == (REG_FORGED_X0,)
+
+
+def test_flag_dependency_chain_restored():
+    """Compare → conditional branch dependence exists only with flag-reg."""
+    from tests.conftest import branch
+
+    cmp_record = alu(dsts=(), values=(), srcs=(1, 2))
+    br_record = branch()
+
+    originals = convert_trace([cmp_record, br_record], Improvement.NONE)
+    # Original: the branch reads FLAGS but no instruction writes it.
+    assert REG_FLAGS in originals[1].src_regs
+    assert REG_FLAGS not in originals[0].dst_regs
+
+    improved = convert_trace([cmp_record, br_record], Improvement.FLAG_REG)
+    assert REG_FLAGS in improved[1].src_regs
+    assert REG_FLAGS in improved[0].dst_regs
+
+
+def test_flag_reg_plus_branch_regs_overlap():
+    """branch-regs replaces FLAGS for cb(n)z even with flag-reg active.
+
+    This is the overlap the paper describes in Section 4.1: flag-reg in
+    isolation makes all conditionals depend on compares; branch-regs then
+    reroutes register-source conditionals to their true producer.
+    """
+    from tests.conftest import branch
+
+    cbz = branch(srcs=(9,))
+    both = Improvement.FLAG_REG | Improvement.BRANCH_REGS
+    instr = convert_trace([cbz], both)[0]
+    assert REG_FLAGS not in instr.src_regs
+    assert champsim_reg(9) in instr.src_regs

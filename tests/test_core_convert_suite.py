@@ -1,0 +1,47 @@
+"""Suite-level conversion driver tests."""
+
+import pytest
+
+from repro.champsim.trace import read_champsim_trace
+from repro.core import Improvement, convert_suite
+from repro.cvp.reader import read_trace
+
+
+def test_convert_suite_writes_both_formats(tmp_path):
+    results = convert_suite(
+        "IPC1", tmp_path, Improvement.ALL, instructions=200, limit=2
+    )
+    assert len(results) == 2
+    for result in results:
+        assert result.source.exists()
+        assert result.destination.exists()
+        assert read_trace(result.source)
+        assert read_champsim_trace(result.destination)
+
+
+def test_convert_suite_public_with_stride(tmp_path):
+    results = convert_suite(
+        "CVP1public", tmp_path, instructions=150, limit=2, stride=40
+    )
+    names = [r.source.name for r in results]
+    assert names == ["srv_0.cvp.gz", "srv_40.cvp.gz"]
+
+
+def test_convert_suite_rejects_unknown_suite(tmp_path):
+    with pytest.raises(ValueError):
+        convert_suite("SPEC2017", tmp_path)
+
+
+def test_convert_suite_creates_directory(tmp_path):
+    target = tmp_path / "nested" / "dir"
+    convert_suite("IPC1", target, instructions=100, limit=1)
+    assert (target / "client_001.champsimtrace.gz").exists()
+
+
+def test_convert_suite_reports_branch_rules(tmp_path):
+    from repro.champsim.branch_info import BranchRules
+
+    results = convert_suite(
+        "IPC1", tmp_path, Improvement.BRANCH_REGS, instructions=100, limit=1
+    )
+    assert results[0].branch_rules is BranchRules.PATCHED

@@ -1,0 +1,57 @@
+"""Improvement flag-set tests (artifact CLI naming)."""
+
+import pytest
+
+from repro.core.improvements import (
+    IMPROVEMENT_NAMES,
+    Improvement,
+    improvement_name,
+    parse_improvements,
+)
+
+
+def test_groups_compose():
+    assert Improvement.MEMORY == (
+        Improvement.MEM_REGS | Improvement.BASE_UPDATE | Improvement.MEM_FOOTPRINT
+    )
+    assert Improvement.BRANCH == (
+        Improvement.CALL_STACK | Improvement.BRANCH_REGS | Improvement.FLAG_REG
+    )
+    assert Improvement.ALL == Improvement.MEMORY | Improvement.BRANCH
+
+
+def test_artifact_names_roundtrip():
+    for name, improvements in IMPROVEMENT_NAMES.items():
+        assert parse_improvements(name) == improvements
+        assert improvement_name(improvements) == name
+
+
+def test_parse_is_case_insensitive():
+    assert parse_improvements("all_imps") == Improvement.ALL
+    assert parse_improvements("IMP_CALL-STACK") == Improvement.CALL_STACK
+
+
+def test_parse_combinations():
+    combined = parse_improvements("imp_base-update+imp_call-stack")
+    assert combined == Improvement.BASE_UPDATE | Improvement.CALL_STACK
+
+
+def test_parse_unknown_raises():
+    with pytest.raises(ValueError):
+        parse_improvements("imp_bogus")
+
+
+def test_name_of_combination():
+    combined = Improvement.BASE_UPDATE | Improvement.CALL_STACK
+    name = improvement_name(combined)
+    assert "imp_base-update" in name and "imp_call-stack" in name
+
+
+def test_no_imp_name():
+    assert improvement_name(Improvement.NONE) == "No_imp"
+
+
+def test_flag_membership():
+    assert Improvement.BASE_UPDATE in Improvement.ALL
+    assert Improvement.BASE_UPDATE in Improvement.MEMORY
+    assert Improvement.BASE_UPDATE not in Improvement.BRANCH

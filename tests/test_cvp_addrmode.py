@@ -1,0 +1,149 @@
+"""Addressing-mode inference tests (paper Section 3.1.2's heuristic)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cvp.addrmode import (
+    AddressingMode,
+    MAX_BASE_UPDATE_OFFSET,
+    cachelines_touched,
+    infer_addressing,
+    is_dc_zva,
+    total_access_size,
+)
+from repro.cvp.reader import RegisterFile
+
+from tests.conftest import alu, load, store
+
+
+def test_pre_index_load_detected():
+    # LDR X1, [X0, #16]!: written base equals the effective address.
+    record = load(dsts=(0, 1), srcs=(0,), values=(0x2010, 0xFFFF), address=0x2010)
+    info = infer_addressing(record)
+    assert info.mode is AddressingMode.PRE_INDEX
+    assert info.base_reg == 0
+    assert info.memory_dst_regs == (1,)
+
+
+def test_post_index_load_detected():
+    # LDR X1, [X0], #16: address is the old base, written base is old+16.
+    record = load(dsts=(0, 1), srcs=(0,), values=(0x2010, 0xFFFF), address=0x2000)
+    info = infer_addressing(record)
+    assert info.mode is AddressingMode.POST_INDEX
+    assert info.base_reg == 0
+
+
+def test_load_pair_reloading_base_is_not_base_update():
+    # LDP X1, X0, [X0]: X0 is populated from memory with an unrelated value.
+    far_value = 0x9999_0000
+    record = load(dsts=(1, 0), srcs=(0,), values=(5, far_value), address=0x2000)
+    info = infer_addressing(record)
+    assert info.mode is AddressingMode.NONE
+
+
+def test_no_shared_register_means_no_update():
+    record = load(dsts=(1,), srcs=(0,), values=(5,), address=0x2000)
+    assert infer_addressing(record).mode is AddressingMode.NONE
+
+
+def test_store_base_update_detected():
+    record = store(dsts=(0,), srcs=(1, 0), values=(0x2008,), address=0x2000)
+    info = infer_addressing(record)
+    assert info.mode is AddressingMode.POST_INDEX
+
+
+def test_non_memory_record_never_updates():
+    info = infer_addressing(alu(dsts=(1,), srcs=(1,)))
+    assert info.mode is AddressingMode.NONE
+
+
+def test_threshold_is_architectural():
+    # ±512 covers scaled pair immediates; beyond is a memory-loaded value.
+    near = load(dsts=(0,), srcs=(0,), values=(0x2000 + 512,), address=0x2000)
+    far = load(dsts=(0,), srcs=(0,), values=(0x2000 + 513,), address=0x2000)
+    assert infer_addressing(near).is_base_update
+    assert not infer_addressing(far).is_base_update
+    assert MAX_BASE_UPDATE_OFFSET == 512
+
+
+def test_register_refinement_rejects_unchanged_value():
+    # The candidate kept its pre-execution value: nothing updated it.
+    regs = RegisterFile()
+    regs.apply(alu(dsts=(0,), values=(0x2008,)))
+    record = load(dsts=(0,), srcs=(0,), values=(0x2008,), address=0x2000)
+    assert not infer_addressing(record, regs).is_base_update
+    # Without register tracking the same record looks like a post-index.
+    assert infer_addressing(record).is_base_update
+
+
+def test_total_access_size_excludes_base_register():
+    # Pre-index LDR: one memory-populated register of 8 bytes, not two.
+    record = load(dsts=(0, 1), srcs=(0,), values=(0x2010, 1), address=0x2010)
+    assert total_access_size(record) == 8
+
+
+def test_total_access_size_load_pair():
+    record = load(dsts=(1, 2), srcs=(0,), values=(1, 2), address=0x2000, size=8)
+    assert total_access_size(record) == 16
+
+
+def test_total_access_size_prefetch_load():
+    record = load(dsts=(), srcs=(0,), values=(), address=0x2000, size=8)
+    assert total_access_size(record) == 8
+
+
+def test_store_size_uses_tracked_address_registers():
+    regs = RegisterFile()
+    regs.apply(alu(dsts=(0,), values=(0x2000,)))  # address register
+    regs.apply(alu(dsts=(1,), values=(1 << 63,)))  # data register
+    record = store(srcs=(1, 0), address=0x2000, size=8)
+    assert total_access_size(record, registers=regs) == 8
+
+
+def test_cachelines_single_line():
+    record = load(address=0x2000, size=8)
+    assert cachelines_touched(record) == (0x2000,)
+
+
+def test_cachelines_crossing_access():
+    record = load(address=0x203C, size=8)  # 0x203C + 8 crosses 0x2040
+    assert cachelines_touched(record) == (0x2000, 0x2040)
+
+
+def test_cachelines_load_pair_crossing():
+    record = load(dsts=(1, 2), values=(0, 0), address=0x2038, size=8)
+    assert cachelines_touched(record) == (0x2000, 0x2040)
+
+
+def test_dc_zva_identification():
+    assert is_dc_zva(store(size=64))
+    assert not is_dc_zva(store(size=8))
+    assert not is_dc_zva(load(size=64))
+
+
+@given(
+    base=st.integers(min_value=0x1000, max_value=1 << 40),
+    delta=st.integers(min_value=-512, max_value=512),
+)
+@settings(max_examples=200)
+def test_base_update_property(base, delta):
+    """Any in-range displacement is classified pre/post consistently."""
+    record = load(dsts=(0,), srcs=(0,), values=(base + delta,), address=base)
+    info = infer_addressing(record)
+    assert info.is_base_update
+    if delta == 0:
+        assert info.mode is AddressingMode.PRE_INDEX
+    else:
+        assert info.mode is AddressingMode.POST_INDEX
+
+
+@given(addr=st.integers(min_value=0, max_value=1 << 48), size=st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+@settings(max_examples=200)
+def test_cachelines_cover_access_property(addr, size):
+    """Returned lines always cover [addr, addr+size)."""
+    record = load(address=addr, size=size)
+    lines = cachelines_touched(record)
+    assert 1 <= len(lines) <= 2
+    first, last = lines[0], lines[-1]
+    assert first <= addr < first + 64
+    assert last <= addr + size - 1 < last + 64

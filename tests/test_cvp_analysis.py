@@ -1,0 +1,85 @@
+"""Trace characterisation tests."""
+
+from repro.cvp.analysis import characterize
+from repro.cvp.isa import InstClass, LINK_REGISTER
+
+from tests.conftest import alu, blr_x30, branch, load, ret, store
+
+
+def test_counts_instruction_classes():
+    ch = characterize([alu(), load(), store(), branch()])
+    assert ch.total_instructions == 4
+    assert ch.class_counts[InstClass.ALU] == 1
+    assert ch.class_counts[InstClass.LOAD] == 1
+    assert ch.branches == 1
+
+
+def test_counts_taken_branches():
+    ch = characterize([branch(taken=True), branch(taken=False)])
+    assert ch.taken_branches == 1
+
+
+def test_detects_x30_read_write_branches():
+    ch = characterize([blr_x30(), ret()])
+    assert ch.x30_read_write_branches == 1
+    assert ch.returns == 1
+    assert ch.calls == 1  # the BLR X30 writes X30
+
+
+def test_counts_zero_destination_alu():
+    ch = characterize([alu(dsts=(), values=()), alu(dsts=(1,))])
+    assert ch.zero_dst_alu_fp == 1
+
+
+def test_counts_zero_destination_memory():
+    ch = characterize([load(dsts=(), values=()), store()])
+    assert ch.zero_dst_memory == 2
+
+
+def test_counts_base_update_loads():
+    bu = load(dsts=(0, 1), srcs=(0,), values=(0x2008, 5), address=0x2000)
+    ch = characterize([bu, load()])
+    assert ch.base_update_loads == 1
+    assert ch.multi_dst_loads == 1
+
+
+def test_counts_line_crossing():
+    crossing = load(address=0x103C, size=8)
+    ch = characterize([crossing, load(address=0x1000)])
+    assert ch.line_crossing_accesses == 1
+
+
+def test_footprints():
+    records = [
+        alu(pc=0x100),
+        alu(pc=0x104),
+        alu(pc=0x100),  # duplicate PC
+        load(pc=0x108, address=0x2000),
+        load(pc=0x10C, address=0x2040),
+    ]
+    ch = characterize(records)
+    assert ch.unique_pcs == 4
+    assert ch.unique_data_lines == 2
+
+
+def test_fraction_helpers():
+    ch = characterize([alu(), alu(), branch()])
+    assert ch.fraction(ch.branches) == 1 / 3
+    assert characterize([]).fraction(1) == 0.0
+
+
+def test_cond_branch_sources_counted():
+    with_src = branch(srcs=(5,))
+    without = branch()
+    ch = characterize([with_src, without])
+    assert ch.cond_branches_with_sources == 1
+
+
+def test_synthetic_trace_characterization(small_trace):
+    ch = characterize(small_trace)
+    assert ch.total_instructions == len(small_trace)
+    assert ch.branches > 0
+    assert ch.loads > 0
+    assert ch.stores > 0
+    assert ch.zero_dst_alu_fp > 0
+    assert 0 < ch.unique_pcs < len(small_trace)

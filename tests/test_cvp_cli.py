@@ -1,0 +1,30 @@
+"""repro-stats CLI tests."""
+
+import pytest
+
+from repro.cvp.cli import main as stats_main
+from repro.cvp.writer import write_trace
+from repro.synth import make_trace
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("stats") / "t.gz"
+    write_trace(make_trace("srv_3", 3000), path)
+    return path
+
+
+def test_stats_cli_reports_characterisation(trace_file, capsys):
+    rc = stats_main([str(trace_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "instructions:" in out
+    assert "base-update loads:" in out
+    assert "BLR-X30" in out
+    assert "code footprint:" in out
+
+
+def test_stats_cli_limit(trace_file, capsys):
+    rc = stats_main([str(trace_file), "--limit", "100"])
+    assert rc == 0
+    assert "instructions:            100" in capsys.readouterr().out

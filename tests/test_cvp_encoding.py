@@ -1,0 +1,145 @@
+"""Binary encoding tests, including hypothesis round-trips."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cvp.encoding import TraceFormatError, decode_record, encode_record
+from repro.cvp.isa import FIRST_VEC_REGISTER, InstClass
+from repro.cvp.record import CvpRecord
+
+from tests.conftest import alu, branch, load, store
+
+
+def roundtrip(record):
+    return decode_record(io.BytesIO(encode_record(record)))
+
+
+def test_alu_roundtrip():
+    record = alu(dsts=(1, 2), srcs=(3,), values=(10, 20))
+    assert roundtrip(record) == record
+
+
+def test_load_roundtrip():
+    record = load(dsts=(4,), srcs=(5,), address=0xABCDEF00, size=16)
+    assert roundtrip(record) == record
+
+
+def test_store_roundtrip():
+    record = store(srcs=(6, 7), address=0x1234, size=64)
+    assert roundtrip(record) == record
+
+
+def test_taken_branch_roundtrip():
+    record = branch(taken=True, target=0xFFFF_FFFF_FFFF_0000)
+    assert roundtrip(record) == record
+
+
+def test_not_taken_branch_roundtrip():
+    record = branch(taken=False)
+    assert roundtrip(record) == record
+
+
+def test_simd_values_use_sixteen_bytes():
+    small = alu(dsts=(1,), values=(1,))
+    simd = alu(dsts=(FIRST_VEC_REGISTER,), values=(1,))
+    assert len(encode_record(simd)) == len(encode_record(small)) + 8
+
+
+def test_simd_128bit_value_roundtrip():
+    value = (0xAAAA_BBBB_CCCC_DDDD << 64) | 0x1111_2222_3333_4444
+    record = alu(dsts=(40,), values=(value,), cls=InstClass.FP)
+    assert roundtrip(record).dst_values == (value,)
+
+
+def test_empty_stream_decodes_to_none():
+    assert decode_record(io.BytesIO(b"")) is None
+
+
+def test_truncated_pc_raises():
+    with pytest.raises(TraceFormatError):
+        decode_record(io.BytesIO(b"\x00\x01\x02"))
+
+
+def test_truncated_mid_record_raises():
+    data = encode_record(load())
+    with pytest.raises(TraceFormatError):
+        decode_record(io.BytesIO(data[:-3]))
+
+
+def test_invalid_instruction_class_raises():
+    data = bytearray(encode_record(alu()))
+    data[8] = 99  # instruction-class byte
+    with pytest.raises(TraceFormatError):
+        decode_record(io.BytesIO(bytes(data)))
+
+
+def test_records_are_self_delimiting():
+    records = [alu(pc=0x10), load(pc=0x20), branch(pc=0x30)]
+    stream = io.BytesIO(b"".join(encode_record(r) for r in records))
+    decoded = [decode_record(stream) for _ in records]
+    assert decoded == records
+    assert decode_record(stream) is None
+
+
+# ---------------------------------------------------------------------------
+# property-based round-trips
+# ---------------------------------------------------------------------------
+
+registers = st.integers(min_value=0, max_value=63)
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@st.composite
+def arbitrary_records(draw):
+    cls = draw(st.sampled_from(list(InstClass)))
+    pc = draw(u64)
+    srcs = tuple(draw(st.lists(registers, max_size=5)))
+    dsts = tuple(draw(st.lists(registers, max_size=3)))
+    values = []
+    for reg in dsts:
+        if reg >= FIRST_VEC_REGISTER:
+            values.append(draw(st.integers(min_value=0, max_value=(1 << 128) - 1)))
+        else:
+            values.append(draw(u64))
+    kwargs = dict(
+        pc=pc,
+        inst_class=cls,
+        src_regs=srcs,
+        dst_regs=dsts,
+        dst_values=tuple(values),
+    )
+    if cls in (InstClass.LOAD, InstClass.STORE):
+        kwargs["mem_address"] = draw(u64)
+        kwargs["mem_size"] = draw(st.integers(min_value=0, max_value=255))
+    if cls in (
+        InstClass.COND_BRANCH,
+        InstClass.UNCOND_DIRECT_BRANCH,
+        InstClass.UNCOND_INDIRECT_BRANCH,
+    ):
+        taken = draw(st.booleans())
+        kwargs["branch_taken"] = taken
+        if taken:
+            kwargs["branch_target"] = draw(u64)
+    return CvpRecord(**kwargs)
+
+
+@given(arbitrary_records())
+@settings(max_examples=200)
+def test_encode_decode_roundtrip_property(record):
+    assert roundtrip(record) == record
+
+
+@given(st.lists(arbitrary_records(), max_size=20))
+@settings(max_examples=50)
+def test_stream_roundtrip_property(records):
+    stream = io.BytesIO(b"".join(encode_record(r) for r in records))
+    decoded = []
+    while True:
+        record = decode_record(stream)
+        if record is None:
+            break
+        decoded.append(record)
+    assert decoded == records

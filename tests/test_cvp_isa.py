@@ -1,0 +1,75 @@
+"""Unit tests for the CVP-1 ISA model."""
+
+import pytest
+
+from repro.cvp.isa import (
+    FIRST_VEC_REGISTER,
+    InstClass,
+    LINK_REGISTER,
+    NUM_REGISTERS,
+    STACK_POINTER,
+    is_branch_class,
+    is_memory_class,
+    is_unconditional_branch_class,
+    is_vec_register,
+    validate_register,
+)
+
+
+def test_instruction_class_values_match_cvp1_encoding():
+    # The on-disk byte values are part of the CVP-1 format.
+    assert InstClass.ALU == 0
+    assert InstClass.LOAD == 1
+    assert InstClass.STORE == 2
+    assert InstClass.COND_BRANCH == 3
+    assert InstClass.UNCOND_DIRECT_BRANCH == 4
+    assert InstClass.UNCOND_INDIRECT_BRANCH == 5
+    assert InstClass.FP == 6
+    assert InstClass.SLOW_ALU == 7
+    assert InstClass.UNDEF == 8
+
+
+def test_branch_classes():
+    assert is_branch_class(InstClass.COND_BRANCH)
+    assert is_branch_class(InstClass.UNCOND_DIRECT_BRANCH)
+    assert is_branch_class(InstClass.UNCOND_INDIRECT_BRANCH)
+    assert not is_branch_class(InstClass.ALU)
+    assert not is_branch_class(InstClass.LOAD)
+
+
+def test_unconditional_branch_classes():
+    assert is_unconditional_branch_class(InstClass.UNCOND_DIRECT_BRANCH)
+    assert is_unconditional_branch_class(InstClass.UNCOND_INDIRECT_BRANCH)
+    assert not is_unconditional_branch_class(InstClass.COND_BRANCH)
+
+
+def test_memory_classes():
+    assert is_memory_class(InstClass.LOAD)
+    assert is_memory_class(InstClass.STORE)
+    assert not is_memory_class(InstClass.FP)
+
+
+def test_register_constants():
+    assert LINK_REGISTER == 30
+    assert STACK_POINTER == 31
+    assert FIRST_VEC_REGISTER == 32
+    assert NUM_REGISTERS == 64
+
+
+def test_vec_register_partition():
+    assert not is_vec_register(0)
+    assert not is_vec_register(31)
+    assert is_vec_register(32)
+    assert is_vec_register(63)
+    assert not is_vec_register(64)
+
+
+@pytest.mark.parametrize("reg", [0, 30, 31, 32, 63])
+def test_validate_register_accepts_architectural_range(reg):
+    assert validate_register(reg) == reg
+
+
+@pytest.mark.parametrize("reg", [-1, 64, 255])
+def test_validate_register_rejects_out_of_range(reg):
+    with pytest.raises(ValueError):
+        validate_register(reg)

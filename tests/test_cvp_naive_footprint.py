@@ -1,0 +1,31 @@
+"""Tests for the CVP-1 simulator's documented footprint over-count."""
+
+from repro.cvp.addrmode import naive_access_size, total_access_size
+
+from tests.conftest import alu, load
+
+
+def test_naive_overcounts_base_update_loads():
+    """LDR X1, [X0, #12]!: 8 bytes moved, but the naive rule says 16."""
+    record = load(dsts=(0, 1), srcs=(0,), values=(0x2008, 5), address=0x2008)
+    assert naive_access_size(record) == 16
+    assert total_access_size(record) == 8
+
+
+def test_naive_and_correct_agree_on_plain_loads():
+    record = load(dsts=(1,), srcs=(0,), values=(5,), address=0x2000)
+    assert naive_access_size(record) == total_access_size(record) == 8
+
+
+def test_naive_and_correct_agree_on_load_pairs():
+    record = load(dsts=(1, 2), srcs=(0,), values=(5, 6), address=0x2000)
+    assert naive_access_size(record) == total_access_size(record) == 16
+
+
+def test_naive_on_non_memory_is_zero():
+    assert naive_access_size(alu()) == 0
+
+
+def test_naive_prefetch_load_counts_one_transfer():
+    record = load(dsts=(), srcs=(0,), values=(), address=0x2000)
+    assert naive_access_size(record) == 8

@@ -1,0 +1,82 @@
+"""Unit tests for CvpRecord invariants."""
+
+import pytest
+
+from repro.cvp.isa import InstClass
+from repro.cvp.record import CvpRecord
+
+from tests.conftest import alu, branch, load, store
+
+
+def test_plain_alu_record():
+    record = alu(dsts=(5,), srcs=(1, 2))
+    assert not record.is_branch
+    assert not record.is_memory
+    assert record.value_of(5) is not None
+    assert record.value_of(9) is None
+
+
+def test_load_requires_address():
+    with pytest.raises(ValueError):
+        CvpRecord(pc=0, inst_class=InstClass.LOAD, mem_size=8)
+
+
+def test_non_memory_rejects_address():
+    with pytest.raises(ValueError):
+        CvpRecord(pc=0, inst_class=InstClass.ALU, mem_address=0x100)
+
+
+def test_values_must_match_destinations():
+    with pytest.raises(ValueError):
+        CvpRecord(
+            pc=0, inst_class=InstClass.ALU, dst_regs=(1, 2), dst_values=(3,)
+        )
+
+
+def test_taken_branch_requires_target():
+    with pytest.raises(ValueError):
+        CvpRecord(pc=0, inst_class=InstClass.COND_BRANCH, branch_taken=True)
+
+
+def test_non_branch_cannot_be_taken():
+    with pytest.raises(ValueError):
+        CvpRecord(pc=0, inst_class=InstClass.ALU, branch_taken=True)
+
+
+def test_next_pc_falls_through_for_not_taken():
+    record = branch(pc=0x100, taken=False)
+    assert record.next_pc() == 0x104
+
+
+def test_next_pc_follows_taken_target():
+    record = branch(pc=0x100, taken=True, target=0x4000)
+    assert record.next_pc() == 0x4000
+
+
+def test_next_pc_for_straightline_code():
+    assert alu(pc=0x200).next_pc() == 0x204
+
+
+def test_load_store_classification():
+    assert load().is_load and load().is_memory and not load().is_store
+    assert store().is_store and store().is_memory and not store().is_load
+
+
+def test_register_lists_are_normalised_to_tuples():
+    record = CvpRecord(
+        pc=0,
+        inst_class=InstClass.ALU,
+        src_regs=[1, 2],
+        dst_regs=[3],
+        dst_values=[4],
+    )
+    assert record.src_regs == (1, 2)
+    assert record.dst_regs == (3,)
+    assert record.dst_values == (4,)
+
+
+def test_invalid_register_numbers_rejected():
+    with pytest.raises(ValueError):
+        alu(dsts=(64,), values=(0,))
+    with pytest.raises(ValueError):
+        alu(srcs=(70,))

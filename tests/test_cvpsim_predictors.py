@@ -1,0 +1,140 @@
+"""Value-predictor unit tests."""
+
+import pytest
+
+from repro.cvpsim.predictors import (
+    CompositePredictor,
+    ContextPredictor,
+    LastValuePredictor,
+    NoPredictor,
+    StridePredictor,
+    make_value_predictor,
+)
+
+
+def confident(predictor, pc):
+    prediction = predictor.predict(pc)
+    return (
+        prediction is not None
+        and prediction.confidence >= predictor.CONFIDENCE_THRESHOLD
+    )
+
+
+def test_registry():
+    for name in ("none", "last-value", "stride", "context", "composite"):
+        assert make_value_predictor(name) is not None
+    with pytest.raises(ValueError):
+        make_value_predictor("oracle")
+
+
+def test_no_predictor_never_predicts():
+    predictor = NoPredictor()
+    predictor.train(0x100, 42)
+    assert predictor.predict(0x100) is None
+
+
+def test_last_value_learns_constant():
+    predictor = LastValuePredictor()
+    for _ in range(12):
+        predictor.train(0x100, 7)
+    assert confident(predictor, 0x100)
+    assert predictor.predict(0x100).value == 7
+
+
+def test_last_value_resets_on_change():
+    predictor = LastValuePredictor()
+    for _ in range(12):
+        predictor.train(0x100, 7)
+    predictor.train(0x100, 9)
+    assert not confident(predictor, 0x100)
+    assert predictor.predict(0x100).value == 9
+
+
+def test_stride_learns_induction_variable():
+    predictor = StridePredictor()
+    for i in range(12):
+        predictor.train(0x100, 1000 + 8 * i)
+    assert confident(predictor, 0x100)
+    assert predictor.predict(0x100).value == 1000 + 8 * 12
+
+
+def test_stride_handles_wraparound():
+    predictor = StridePredictor()
+    base = (1 << 64) - 16
+    for i in range(12):
+        predictor.train(0x100, (base + 8 * i) & ((1 << 64) - 1))
+    prediction = predictor.predict(0x100)
+    assert prediction.value == (base + 8 * 12) & ((1 << 64) - 1)
+
+
+def test_stride_zero_stride_is_last_value():
+    predictor = StridePredictor()
+    for _ in range(12):
+        predictor.train(0x100, 5)
+    assert predictor.predict(0x100).value == 5
+
+
+def test_context_learns_repeating_sequence():
+    predictor = ContextPredictor(order=4)
+    sequence = [3, 1, 4, 1, 5, 9, 2, 6]
+    hits = 0
+    total = 0
+    for rep in range(60):
+        for value in sequence:
+            prediction = predictor.predict(0x200)
+            if rep > 20:
+                total += 1
+                if (
+                    prediction is not None
+                    and prediction.confidence >= predictor.CONFIDENCE_THRESHOLD
+                    and prediction.value == value
+                ):
+                    hits += 1
+            predictor.train(0x200, value)
+    assert hits / total > 0.8
+
+
+def test_context_beats_stride_on_patterns():
+    sequence = [10, 99, 10, 99]  # stride flip-flops, context nails it
+
+    def score(predictor):
+        hits = 0
+        for rep in range(50):
+            for value in sequence:
+                prediction = predictor.predict(0x300)
+                if (
+                    rep > 20
+                    and prediction is not None
+                    and prediction.confidence >= predictor.CONFIDENCE_THRESHOLD
+                    and prediction.value == value
+                ):
+                    hits += 1
+                predictor.train(0x300, value)
+        return hits
+
+    assert score(ContextPredictor()) > score(StridePredictor())
+
+
+def test_composite_uses_stride_when_confident():
+    predictor = CompositePredictor()
+    for i in range(12):
+        predictor.train(0x100, 100 + 4 * i)
+    prediction = predictor.predict(0x100)
+    assert prediction.value == 100 + 4 * 12
+    assert prediction.confidence >= predictor.CONFIDENCE_THRESHOLD
+
+
+def test_predictors_separate_pcs():
+    predictor = StridePredictor()
+    for i in range(12):
+        predictor.train(0x100, 8 * i)
+        predictor.train(0x200, 1000)
+    assert predictor.predict(0x100).value == 8 * 12
+    assert predictor.predict(0x200).value == 1000
+
+
+def test_table_eviction_bounds_state():
+    predictor = LastValuePredictor(table_size=4)
+    for pc in range(100):
+        predictor.train(pc, pc)
+    assert len(predictor._table) == 4

@@ -1,0 +1,116 @@
+"""CVP-1 championship simulator tests."""
+
+import pytest
+
+from repro.cvpsim import CvpSimulator, make_value_predictor
+from repro.cvpsim.predictors import Prediction, ValuePredictor
+from repro.synth import make_trace
+
+from tests.conftest import alu, load
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_trace("compute_int_7", 6000)
+
+
+def test_baseline_runs(trace):
+    stats = CvpSimulator().run(trace)
+    assert stats.instructions == len(trace)
+    assert 0 < stats.ipc < 8
+    assert stats.confident == 0
+
+
+def test_stride_prediction_helps(trace):
+    base = CvpSimulator().run(trace)
+    stride = CvpSimulator(make_value_predictor("stride")).run(trace)
+    assert stride.coverage > 0.05
+    assert stride.accuracy > 0.9
+    assert stride.ipc >= base.ipc
+
+
+def test_composite_at_least_matches_stride(trace):
+    stride = CvpSimulator(make_value_predictor("stride")).run(trace)
+    composite = CvpSimulator(make_value_predictor("composite")).run(trace)
+    assert composite.coverage >= stride.coverage * 0.95
+    assert composite.ipc >= stride.ipc * 0.98
+
+
+def test_cvp2_base_update_fix_speeds_up_walker_traces():
+    """The paper-introduction flaw, quantified from the CVP side."""
+    records = make_trace("compute_fp_9", 10_000)  # base-update heavy
+    flawed = CvpSimulator(base_update_fix=False).run(records)
+    fixed = CvpSimulator(base_update_fix=True).run(records)
+    assert fixed.ipc > flawed.ipc
+
+
+def test_mispredictions_cost_cycles():
+    class WrongPredictor(ValuePredictor):
+        """Confidently predicts an always-wrong value."""
+
+        def predict(self, pc):
+            return Prediction(value=0xBAD, confidence=15)
+
+        def train(self, pc, actual):
+            pass
+
+    records = [
+        alu(pc=0x1000 + 8 * (i % 8), dsts=(1,), values=(i,), srcs=(2,))
+        for i in range(2000)
+    ]
+    clean = CvpSimulator().run(records)
+    flushed = CvpSimulator(WrongPredictor()).run(records)
+    assert flushed.cycles > clean.cycles * 2
+    assert flushed.incorrect == 2000
+
+
+def test_perfect_prediction_breaks_chains():
+    class Oracle(ValuePredictor):
+        """Cheats: predicts the dependency chain's exact next value."""
+
+        def __init__(self):
+            self._next = {}
+
+        def predict(self, pc):
+            value = self._next.get(pc)
+            if value is None:
+                return None
+            return Prediction(value=value, confidence=15)
+
+        def train(self, pc, actual):
+            # The same static pc recurs every 4 records; values step by 1
+            # per record, so the next value at this pc is actual + 4.
+            self._next[pc] = actual + 4
+
+    # A serial chain through loads: reg 1 feeds the next load.
+    records = []
+    value = 0
+    for i in range(2000):
+        value += 1
+        records.append(
+            load(
+                pc=0x1000 + 8 * (i % 4),
+                dsts=(1,),
+                srcs=(1,),
+                values=(value,),
+                address=0x2000,
+            )
+        )
+    base = CvpSimulator().run(records)
+    oracle = CvpSimulator(Oracle()).run(records)
+    assert oracle.accuracy > 0.99
+    assert oracle.ipc > 1.5 * base.ipc
+
+
+def test_window_limits_parallelism(trace):
+    wide = CvpSimulator(window=512).run(trace)
+    narrow = CvpSimulator(window=8).run(trace)
+    assert wide.ipc > narrow.ipc
+
+
+def test_stats_summary():
+    stats = CvpSimulator(make_value_predictor("stride")).run(
+        make_trace("crypto_3", 1000)
+    )
+    text = stats.summary()
+    assert "IPC" in text and "coverage" in text

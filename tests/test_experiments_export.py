@@ -1,0 +1,79 @@
+"""Export-module tests."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import export_csv, export_json, to_records
+from repro.experiments.figures import Figure1, Figure2, Figure4Row
+from repro.experiments.tables import Table3, Table3Entry
+
+
+def sample_fig1():
+    return Figure1(variation={"imp_base-update": 0.02, "All_imps": -0.04}, traces=10)
+
+
+def sample_table3():
+    comp = [Table3Entry(1, "EPI", 1.3), Table3Entry(2, "TAP", 1.1)]
+    fixed = [Table3Entry(1, "EPI", 1.35), Table3Entry(2, "TAP", 1.12)]
+    return Table3(competition=comp, fixed=fixed)
+
+
+def test_figure1_records():
+    records = to_records(sample_fig1())
+    assert {"improvement": "All_imps", "geomean_ipc_variation": -0.04} in records
+
+
+def test_figure2_records_carry_rank():
+    data = Figure2(series={"x": [0.1, -0.2]}, above_5pct={"x": 1})
+    records = to_records(data)
+    assert records[0]["rank"] == 1 and records[1]["rank"] == 2
+
+
+def test_table3_records_have_both_sets():
+    records = to_records(sample_table3())
+    assert {r["trace_set"] for r in records} == {"competition", "fixed"}
+    assert len(records) == 4
+
+
+def test_dataclass_rows_flatten():
+    rows = [
+        Figure4Row(trace="a", base_update_load_fraction=0.01, speedup=1.02),
+        Figure4Row(trace="b", base_update_load_fraction=0.05, speedup=1.08),
+    ]
+    records = to_records(rows)
+    assert records[1]["trace"] == "b"
+    assert records[1]["speedup"] == 1.08
+
+
+def test_single_dataclass_flattens():
+    row = Figure4Row(trace="a", base_update_load_fraction=0.0, speedup=1.0)
+    assert to_records(row) == [
+        {"trace": "a", "base_update_load_fraction": 0.0, "speedup": 1.0}
+    ]
+
+
+def test_unknown_type_raises():
+    with pytest.raises(TypeError):
+        to_records(42)
+
+
+def test_export_json_roundtrip(tmp_path):
+    path = export_json(sample_fig1(), tmp_path / "fig1.json")
+    loaded = json.loads(path.read_text())
+    assert len(loaded) == 2
+    assert all("improvement" in record for record in loaded)
+
+
+def test_export_csv_roundtrip(tmp_path):
+    path = export_csv(sample_table3(), tmp_path / "tab3.csv")
+    with open(path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4
+    assert rows[0]["prefetcher"] == "EPI"
+
+
+def test_export_csv_empty(tmp_path):
+    path = export_csv([], tmp_path / "empty.csv")
+    assert path.read_text() == ""

@@ -1,0 +1,133 @@
+"""End-to-end integration tests: the paper's qualitative results.
+
+Each test runs generate → convert → simulate on small synthetic traces
+and asserts the *shape* the paper reports (signs, orderings, where the
+effects concentrate) — not absolute numbers.
+"""
+
+import pytest
+
+from repro.core import Converter, Improvement, convert_trace
+from repro.sim import SimConfig, Simulator
+from repro.synth import make_trace
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """IPC and stats per improvement set over a small mixed suite."""
+    names = ["srv_3", "srv_10", "compute_int_5", "compute_fp_2", "crypto_1"]
+    table = {}
+    for name in names:
+        records = make_trace(name, 8000)
+        per_imp = {}
+        for imp in (
+            Improvement.NONE,
+            Improvement.BASE_UPDATE,
+            Improvement.CALL_STACK,
+            Improvement.BRANCH_REGS,
+            Improvement.FLAG_REG,
+            Improvement.MEM_FOOTPRINT,
+            Improvement.ALL,
+        ):
+            converter = Converter(imp)
+            instrs = list(converter.convert(records))
+            per_imp[imp] = Simulator(SimConfig.main()).run(
+                instrs, converter.required_branch_rules
+            )
+        table[name] = per_imp
+    return table
+
+
+def geo(values):
+    import math
+
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def variation(runs, imp):
+    base = geo([r[Improvement.NONE].ipc for r in runs.values()])
+    improved = geo([r[imp].ipc for r in runs.values()])
+    return improved / base - 1
+
+
+def test_branch_regs_slows_down(runs):
+    assert variation(runs, Improvement.BRANCH_REGS) < -0.005
+
+
+def test_flag_reg_slows_down(runs):
+    assert variation(runs, Improvement.FLAG_REG) < -0.005
+
+
+def test_base_update_speeds_up(runs):
+    assert variation(runs, Improvement.BASE_UPDATE) > 0.0
+
+
+def test_mem_footprint_is_negligible(runs):
+    assert abs(variation(runs, Improvement.MEM_FOOTPRINT)) < 0.01
+
+
+def test_call_stack_concentrates_on_affected_traces(runs):
+    affected = runs["srv_3"]
+    unaffected = runs["crypto_1"]
+    gain_affected = (
+        affected[Improvement.CALL_STACK].ipc / affected[Improvement.NONE].ipc
+    )
+    gain_unaffected = (
+        unaffected[Improvement.CALL_STACK].ipc / unaffected[Improvement.NONE].ipc
+    )
+    assert gain_affected > 1.005
+    assert abs(gain_unaffected - 1) < 0.005
+
+
+def test_call_stack_fixes_ras_mpki_by_an_order_of_magnitude(runs):
+    affected = runs["srv_3"]
+    before = affected[Improvement.NONE].ras_mpki
+    after = affected[Improvement.CALL_STACK].ras_mpki
+    assert before > 2.0
+    assert after < before / 5
+
+
+def test_branch_improvements_increase_branch_penalty_not_mpki(runs):
+    """flag-reg delays resolution; the mispredict *count* barely moves."""
+    for name, per_imp in runs.items():
+        base = per_imp[Improvement.NONE]
+        flag = per_imp[Improvement.FLAG_REG]
+        if base.direction_mpki > 0.5:
+            assert flag.direction_mpki == pytest.approx(
+                base.direction_mpki, rel=0.35
+            )
+
+
+def test_base_update_dilutes_mpki(runs):
+    """Splitting increases the instruction count, slightly reducing MPKIs
+    (paper Section 4.3: 1-4%)."""
+    trace = runs["compute_fp_2"]
+    base = trace[Improvement.NONE]
+    upd = trace[Improvement.BASE_UPDATE]
+    assert upd.instructions > base.instructions
+
+
+def test_all_imps_within_envelope(runs):
+    """All improvements combined land between the branch-only drop and
+    the memory-only gain."""
+    all_var = variation(runs, Improvement.ALL)
+    flag_var = variation(runs, Improvement.FLAG_REG)
+    base_var = variation(runs, Improvement.BASE_UPDATE)
+    assert flag_var - 0.1 < all_var < base_var + 0.1
+
+
+def test_significant_fraction_of_traces_move_more_than_5pct(runs):
+    moved = 0
+    for per_imp in runs.values():
+        delta = per_imp[Improvement.ALL].ipc / per_imp[Improvement.NONE].ipc - 1
+        if abs(delta) > 0.05:
+            moved += 1
+    assert moved >= 1  # the paper: 43 of 135
+
+
+def test_patched_rules_keep_branch_population(runs):
+    """branch-regs must not change how many branches the simulator sees."""
+    for per_imp in runs.values():
+        base = per_imp[Improvement.NONE]
+        br = per_imp[Improvement.BRANCH_REGS]
+        assert br.branches == base.branches

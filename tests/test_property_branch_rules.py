@@ -1,0 +1,101 @@
+"""Property tests over ChampSim's branch-deduction rule sets.
+
+Enumerate every register-usage signature over {IP, SP, FLAGS, other} and
+check global properties of the ORIGINAL vs PATCHED rules — in particular
+that the paper's two patches only ever move branches *into* the
+conditional class, never out of any other class.
+"""
+
+import itertools
+
+import pytest
+
+from repro.champsim.branch_info import BranchRules, BranchType, deduce_branch_type
+from repro.champsim.regs import (
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER as IP,
+    REG_STACK_POINTER as SP,
+)
+from repro.champsim.trace import ChampSimInstr
+
+OTHER = 31
+
+#: All subsets of the interesting source registers...
+_SRC_SETS = [
+    tuple(s)
+    for r in range(4)
+    for s in itertools.combinations((IP, SP, REG_FLAGS, OTHER), r)
+]
+#: ...and destination registers (2 slots max).
+_DST_SETS = [
+    tuple(s) for r in range(3) for s in itertools.combinations((IP, SP), r)
+]
+
+
+def _all_signatures():
+    for src in _SRC_SETS:
+        for dst in _DST_SETS:
+            yield ChampSimInstr(
+                ip=0x1000,
+                is_branch=True,
+                branch_taken=True,
+                src_regs=src,
+                dst_regs=dst,
+            )
+
+
+def test_deduction_is_total():
+    """Every signature maps to exactly one type under both rule sets."""
+    for instr in _all_signatures():
+        for rules in BranchRules:
+            assert deduce_branch_type(instr, rules) in BranchType
+
+
+def test_patches_only_create_conditionals():
+    """Where the rule sets disagree, PATCHED turns INDIRECT/OTHER into
+    CONDITIONAL — the two Section 3.2.2 patches.  The single exception is
+    a signature no converter emits (writes SP without reading it while
+    reading IP+other), which the stricter indirect rule demotes to OTHER.
+    """
+    disagreements = []
+    for instr in _all_signatures():
+        original = deduce_branch_type(instr, BranchRules.ORIGINAL)
+        patched = deduce_branch_type(instr, BranchRules.PATCHED)
+        if original is not patched:
+            disagreements.append((instr, original, patched))
+    assert disagreements, "the patches must change something"
+    for instr, original, patched in disagreements:
+        if patched is BranchType.OTHER:
+            # The inexpressible signature: SP written but never read.
+            assert instr.writes(SP) and not instr.reads(SP)
+            continue
+        assert patched is BranchType.CONDITIONAL
+        assert original in (BranchType.INDIRECT, BranchType.OTHER)
+
+
+def test_calls_and_returns_identical_across_rules():
+    for instr in _all_signatures():
+        original = deduce_branch_type(instr, BranchRules.ORIGINAL)
+        if original in (
+            BranchType.DIRECT_CALL,
+            BranchType.INDIRECT_CALL,
+            BranchType.RETURN,
+            BranchType.DIRECT_JUMP,
+        ):
+            assert deduce_branch_type(instr, BranchRules.PATCHED) is original
+
+
+def test_every_category_is_reachable():
+    reachable = {
+        deduce_branch_type(instr, BranchRules.ORIGINAL)
+        for instr in _all_signatures()
+    }
+    for branch_type in (
+        BranchType.DIRECT_JUMP,
+        BranchType.INDIRECT,
+        BranchType.CONDITIONAL,
+        BranchType.DIRECT_CALL,
+        BranchType.INDIRECT_CALL,
+        BranchType.RETURN,
+    ):
+        assert branch_type in reachable

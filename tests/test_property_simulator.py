@@ -1,0 +1,132 @@
+"""Property-based tests of timing-model invariants (hypothesis).
+
+Random small instruction streams; the properties are global sanity laws
+of the interval model: determinism, resource monotonicity, stat
+consistency.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.champsim.regs import (
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER as IP,
+)
+from repro.champsim.trace import ChampSimInstr
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+
+
+@st.composite
+def instruction_streams(draw):
+    """A random but structurally sane stream over a small code region."""
+    length = draw(st.integers(min_value=20, max_value=120))
+    stream = []
+    for i in range(length):
+        ip = 0x400000 + 8 * (i % 16)
+        kind = draw(st.sampled_from(["alu", "load", "store", "branch"]))
+        if kind == "alu":
+            stream.append(
+                ChampSimInstr(
+                    ip=ip,
+                    dst_regs=(draw(st.integers(1, 8)),),
+                    src_regs=(draw(st.integers(1, 8)),),
+                )
+            )
+        elif kind == "load":
+            stream.append(
+                ChampSimInstr(
+                    ip=ip,
+                    dst_regs=(draw(st.integers(1, 8)),),
+                    src_mem=(draw(st.integers(1, 1 << 24)) * 8,),
+                )
+            )
+        elif kind == "store":
+            stream.append(
+                ChampSimInstr(
+                    ip=ip,
+                    src_regs=(draw(st.integers(1, 8)),),
+                    dst_mem=(draw(st.integers(1, 1 << 24)) * 8,),
+                )
+            )
+        else:
+            stream.append(
+                ChampSimInstr(
+                    ip=ip,
+                    is_branch=True,
+                    branch_taken=draw(st.booleans()),
+                    src_regs=(IP, REG_FLAGS),
+                    dst_regs=(IP,),
+                )
+            )
+    return stream
+
+
+def run(stream, **overrides):
+    config = SimConfig.main(
+        l1d_prefetcher="", l2_prefetcher="", fdip_lookahead=0, **overrides
+    )
+    return Simulator(config).run(stream)
+
+
+@given(instruction_streams())
+@settings(max_examples=40, deadline=None)
+def test_simulation_is_deterministic(stream):
+    a, b = run(stream), run(stream)
+    assert (a.cycles, a.mispredicted_branches, a.cache_misses) == (
+        b.cycles,
+        b.mispredicted_branches,
+        b.cache_misses,
+    )
+
+
+@given(instruction_streams())
+@settings(max_examples=40, deadline=None)
+def test_instruction_count_is_exact(stream):
+    stats = run(stream)
+    assert stats.instructions == len(stream)
+    assert stats.branches == sum(1 for i in stream if i.is_branch)
+
+
+@given(instruction_streams())
+@settings(max_examples=30, deadline=None)
+def test_bigger_rob_never_hurts(stream):
+    small = run(stream, rob_size=16)
+    big = run(stream, rob_size=256)
+    assert big.cycles <= small.cycles
+
+
+@given(instruction_streams())
+@settings(max_examples=30, deadline=None)
+def test_wider_machine_never_hurts(stream):
+    narrow = run(stream, fetch_width=1, dispatch_width=1, exec_width=1, retire_width=1)
+    wide = run(stream)
+    assert wide.cycles <= narrow.cycles
+
+
+@given(instruction_streams())
+@settings(max_examples=30, deadline=None)
+def test_finite_prf_never_speeds_up(stream):
+    unlimited = run(stream)
+    tight = run(stream, prf_size=12)
+    assert tight.cycles >= unlimited.cycles
+
+
+@given(instruction_streams())
+@settings(max_examples=30, deadline=None)
+def test_ipc_positive_and_bounded(stream):
+    stats = run(stream)
+    assert 0 < stats.ipc <= 6.0
+
+
+@given(instruction_streams())
+@settings(max_examples=30, deadline=None)
+def test_cache_accounting_consistent(stream):
+    stats = run(stream)
+    for level in ("L1I", "L1D", "L2", "LLC"):
+        misses = stats.cache_misses.get(level, 0)
+        accesses = stats.cache_accesses.get(level, 0)
+        assert 0 <= misses <= accesses
+    loads = sum(1 for i in stream if i.src_mem)
+    stores = sum(1 for i in stream if i.dst_mem)
+    assert stats.cache_accesses.get("L1D", 0) == loads + stores

@@ -1,0 +1,104 @@
+"""Direction-predictor tests."""
+
+import pytest
+
+from repro.sim.branch import (
+    AlwaysTaken,
+    Bimodal,
+    GShare,
+    Tage,
+    make_direction_predictor,
+)
+
+
+def accuracy(predictor, stream):
+    correct = 0
+    for ip, taken in stream:
+        if predictor.predict(ip) == taken:
+            correct += 1
+        predictor.update(ip, taken)
+    return correct / len(stream)
+
+
+def biased_stream(ip=0x1000, n=2000, taken=True):
+    return [(ip, taken)] * n
+
+
+def alternating_stream(ip=0x1000, n=2000):
+    return [(ip, i % 2 == 0) for i in range(n)]
+
+
+def pattern_stream(ip=0x1000, pattern=(True, True, True, False), n=2000):
+    return [(ip, pattern[i % len(pattern)]) for i in range(n)]
+
+
+@pytest.mark.parametrize("name", ["bimodal", "gshare", "tage", "always-taken"])
+def test_registry(name):
+    predictor = make_direction_predictor(name)
+    assert isinstance(predictor.predict(0x1000), bool)
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_direction_predictor("oracle")
+
+
+def test_always_taken():
+    predictor = AlwaysTaken()
+    assert predictor.predict(0x1234) is True
+    predictor.update(0x1234, False)
+    assert predictor.predict(0x1234) is True
+
+
+@pytest.mark.parametrize("cls", [Bimodal, GShare, Tage])
+def test_learns_heavily_biased_branch(cls):
+    assert accuracy(cls(), biased_stream(taken=True)) > 0.98
+    assert accuracy(cls(), biased_stream(taken=False)) > 0.95
+
+
+@pytest.mark.parametrize("cls", [GShare, Tage])
+def test_history_predictor_learns_alternation(cls):
+    assert accuracy(cls(), alternating_stream()) > 0.9
+
+
+def test_bimodal_cannot_learn_alternation():
+    assert accuracy(Bimodal(), alternating_stream()) < 0.6
+
+
+@pytest.mark.parametrize("cls", [GShare, Tage])
+def test_history_predictor_learns_loop_pattern(cls):
+    assert accuracy(cls(), pattern_stream()) > 0.85
+
+
+def test_tage_beats_bimodal_on_correlated_branches():
+    """Branch B's outcome equals branch A's previous outcome."""
+    import random
+
+    rng = random.Random(7)
+    stream = []
+    last_a = True
+    for _ in range(3000):
+        outcome_a = rng.random() < 0.5
+        stream.append((0x1000, outcome_a))
+        stream.append((0x2000, last_a))
+        last_a = outcome_a
+    tage, bimodal = Tage(), Bimodal()
+    acc_tage = accuracy(tage, stream)
+    acc_bimodal = accuracy(bimodal, stream)
+    assert acc_tage > acc_bimodal + 0.1
+
+
+def test_predictors_separate_different_pcs():
+    predictor = Bimodal()
+    for _ in range(50):
+        predictor.update(0x1000, True)
+        predictor.update(0x2000, False)
+    assert predictor.predict(0x1000) is True
+    assert predictor.predict(0x2000) is False
+
+
+def test_tage_update_without_predict_is_safe():
+    tage = Tage()
+    for i in range(100):
+        tage.update(0x1000 + (i % 5) * 4, i % 3 == 0)
+    assert isinstance(tage.predict(0x1000), bool)

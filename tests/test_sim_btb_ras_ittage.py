@@ -1,0 +1,136 @@
+"""Target-prediction structure tests: BTB, RAS, ITTAGE."""
+
+import pytest
+
+from repro.champsim.branch_info import BranchType
+from repro.sim.branch import BTB, ITTAGE, ReturnAddressStack
+
+
+# ---------------------------------------------------------------------- BTB
+
+
+def test_btb_miss_then_hit():
+    btb = BTB(entries=64, ways=4)
+    assert btb.lookup(0x1000) is None
+    btb.install(0x1000, 0x2000, BranchType.DIRECT_JUMP)
+    assert btb.lookup(0x1000) == (0x2000, BranchType.DIRECT_JUMP)
+
+
+def test_btb_update_existing_entry():
+    btb = BTB(entries=64, ways=4)
+    btb.install(0x1000, 0x2000, BranchType.INDIRECT)
+    btb.install(0x1000, 0x3000, BranchType.INDIRECT)
+    assert btb.lookup(0x1000)[0] == 0x3000
+
+
+def test_btb_lru_eviction():
+    btb = BTB(entries=8, ways=2)  # 4 sets
+    sets = 4
+    base = 0x1000
+    conflicting = [base + i * 4 * sets for i in range(3)]  # same set
+    btb.install(conflicting[0], 1, BranchType.DIRECT_JUMP)
+    btb.install(conflicting[1], 2, BranchType.DIRECT_JUMP)
+    btb.lookup(conflicting[0])  # touch: 1 becomes MRU
+    btb.install(conflicting[2], 3, BranchType.DIRECT_JUMP)  # evicts 2
+    assert btb.lookup(conflicting[0]) is not None
+    assert btb.lookup(conflicting[1]) is None
+    assert btb.lookup(conflicting[2]) is not None
+
+
+def test_btb_requires_divisible_geometry():
+    with pytest.raises(ValueError):
+        BTB(entries=10, ways=4)
+
+
+def test_btb_default_geometry_is_papers():
+    btb = BTB()
+    assert btb._num_sets * btb._ways == 16384
+
+
+# ---------------------------------------------------------------------- RAS
+
+
+def test_ras_lifo_order():
+    ras = ReturnAddressStack(size=8)
+    ras.push(0x100)
+    ras.push(0x200)
+    assert ras.pop() == 0x200
+    assert ras.pop() == 0x100
+
+
+def test_ras_empty_pop_is_none():
+    assert ReturnAddressStack().pop() is None
+
+
+def test_ras_overflow_drops_oldest():
+    ras = ReturnAddressStack(size=2)
+    ras.push(1)
+    ras.push(2)
+    ras.push(3)
+    assert ras.pop() == 3
+    assert ras.pop() == 2
+    assert ras.pop() is None
+
+
+def test_ras_misclassified_call_desynchronises_stack():
+    """The paper's call-stack bug in miniature.
+
+    A call typed as a return *pops* instead of pushing: its own target is
+    mispredicted and the genuine return above it now sees the wrong
+    entry.
+    """
+    ras = ReturnAddressStack()
+    ras.push(0xAAA4)  # genuine call A
+    # BLR X30 typed as return: pops A's return address...
+    assert ras.pop() == 0xAAA4  # ...and predicts it as the call's target
+    # Genuine return from A now finds an empty stack.
+    assert ras.pop() is None
+
+
+def test_ras_clear():
+    ras = ReturnAddressStack()
+    ras.push(1)
+    ras.clear()
+    assert len(ras) == 0
+
+
+# ------------------------------------------------------------------- ITTAGE
+
+
+def test_ittage_learns_stable_target():
+    ittage = ITTAGE()
+    for _ in range(10):
+        ittage.update(0x1000, 0x4000)
+    assert ittage.predict(0x1000) == 0x4000
+
+
+def test_ittage_cold_miss_is_none():
+    assert ITTAGE().predict(0x9999) is None
+
+
+def test_ittage_learns_history_correlated_targets():
+    """Target alternates with the path: ITTAGE should exceed last-target."""
+    ittage = ITTAGE()
+    targets = [0x4000, 0x5000]
+    correct = 0
+    total = 0
+    for i in range(4000):
+        # Two different call paths lead to two different targets.
+        path_marker = 0x100 if i % 2 == 0 else 0x200
+        ittage.update(0x50, path_marker)  # drive path history
+        predicted = ittage.predict(0x1000)
+        actual = targets[i % 2]
+        if i > 500:
+            total += 1
+            correct += predicted == actual
+        ittage.update(0x1000, actual)
+    assert correct / total > 0.8
+
+
+def test_ittage_adapts_to_target_change():
+    ittage = ITTAGE()
+    for _ in range(5):
+        ittage.update(0x1000, 0x4000)
+    for _ in range(20):
+        ittage.update(0x1000, 0x8000)
+    assert ittage.predict(0x1000) == 0x8000

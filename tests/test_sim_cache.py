@@ -1,0 +1,132 @@
+"""Set-associative cache model tests."""
+
+import pytest
+
+from repro.sim.cache.cache import Cache, LINE_SIZE
+from repro.sim.cache.replacement import LRU, SRRIP, RandomReplacement, make_policy
+
+
+def small_cache(**kwargs):
+    defaults = dict(size=4 * 1024, ways=4, latency=4, name="L1")
+    defaults.update(kwargs)
+    return Cache(**defaults)
+
+
+def test_line_alignment():
+    assert Cache.line_of(0x1234) == 0x1234 & ~(LINE_SIZE - 1)
+    assert Cache.line_of(0x1240) == 0x1240
+    assert Cache.line_of(0x127F) == 0x1240
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    assert not cache.lookup(0x1000)
+    cache.fill(0x1000)
+    assert cache.lookup(0x1000)
+
+
+def test_same_line_addresses_hit_together():
+    cache = small_cache()
+    cache.fill(0x1000)
+    assert cache.lookup(0x103F)
+    assert not cache.lookup(0x1040)
+
+
+def test_lru_eviction_within_set():
+    cache = small_cache(size=512, ways=2)  # 4 sets
+    set_stride = 4 * LINE_SIZE
+    a, b, c = 0x0, set_stride, 2 * set_stride
+    cache.fill(a)
+    cache.fill(b)
+    cache.lookup(a)  # a is MRU
+    cache.fill(c)  # evicts b
+    assert cache.lookup(a)
+    assert not cache.lookup(b)
+    assert cache.lookup(c)
+
+
+def test_capacity():
+    cache = small_cache(size=1024, ways=4)  # 16 lines
+    for i in range(32):
+        cache.fill(i * LINE_SIZE)
+    assert cache.resident_lines() == 16
+
+
+def test_ready_time_tracking():
+    cache = small_cache()
+    cache.fill(0x1000, ready_time=100)
+    assert cache.ready_time(0x1000) == 100
+    cache.fill(0x2000)
+    assert cache.ready_time(0x2000) == 0
+
+
+def test_refill_only_improves_ready_time():
+    cache = small_cache()
+    cache.fill(0x1000, ready_time=100)
+    cache.fill(0x1000, ready_time=50)
+    assert cache.ready_time(0x1000) == 50
+    cache.fill(0x1000, ready_time=500)
+    assert cache.ready_time(0x1000) == 50
+
+
+def test_invalidate():
+    cache = small_cache()
+    cache.fill(0x1000)
+    assert cache.invalidate(0x1000)
+    assert not cache.lookup(0x1000)
+    assert not cache.invalidate(0x1000)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache(size=1000, ways=3, latency=1)
+
+
+def test_present_does_not_touch_recency():
+    cache = small_cache(size=512, ways=2)
+    set_stride = 4 * LINE_SIZE
+    a, b, c = 0x0, set_stride, 2 * set_stride
+    cache.fill(a)
+    cache.fill(b)
+    cache.present(a)  # must NOT refresh a's recency
+    cache.fill(c)  # evicts a (LRU), not b
+    assert not cache.lookup(a)
+    assert cache.lookup(b)
+
+
+# --------------------------------------------------------------- policies
+
+
+def test_policy_registry():
+    assert isinstance(make_policy("lru"), LRU)
+    assert isinstance(make_policy("srrip"), SRRIP)
+    assert isinstance(make_policy("random"), RandomReplacement)
+    with pytest.raises(ValueError):
+        make_policy("plru")
+
+
+def test_srrip_scan_resistance():
+    """SRRIP keeps a re-referenced line through a one-shot scan."""
+    cache = Cache(size=4 * LINE_SIZE, ways=4, latency=1, policy=SRRIP())
+    hot = 0x0
+    cache.fill(hot)
+    for _ in range(4):
+        cache.lookup(hot)  # RRPV -> 0
+    for i in range(1, 4):
+        cache.fill(i * 0x10000)  # scan fills
+    cache.fill(0x50000)  # forces a victim
+    assert cache.present(hot)
+
+
+def test_random_policy_is_deterministic_with_seed():
+    def victims(seed):
+        cache = Cache(
+            size=2 * LINE_SIZE, ways=2, latency=1, policy=RandomReplacement(seed)
+        )
+        out = []
+        for i in range(10):
+            cache.fill(i * 0x1000)
+            out.append(cache.resident_lines())
+        return out
+
+    assert victims(1) == victims(1)

@@ -1,0 +1,78 @@
+"""Decode-stage tests: branch typing + next-IP target attachment."""
+
+from repro.champsim.branch_info import BranchRules, BranchType
+from repro.champsim.regs import (
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER as IP,
+    REG_STACK_POINTER as SP,
+)
+from repro.champsim.trace import ChampSimInstr
+from repro.sim.decoded import decode_trace
+
+
+def cond(ip, taken):
+    return ChampSimInstr(
+        ip=ip,
+        is_branch=True,
+        branch_taken=taken,
+        src_regs=(IP, REG_FLAGS),
+        dst_regs=(IP,),
+    )
+
+
+def plain(ip):
+    return ChampSimInstr(ip=ip, dst_regs=(1,), src_regs=(2,))
+
+
+def test_targets_come_from_next_ip():
+    decoded = decode_trace([cond(0x100, True), plain(0x4000)])
+    assert decoded[0].target == 0x4000
+    assert decoded[0].branch_type is BranchType.CONDITIONAL
+
+
+def test_not_taken_branch_has_no_target():
+    decoded = decode_trace([cond(0x100, False), plain(0x104)])
+    assert decoded[0].target == 0
+
+
+def test_last_taken_branch_falls_back_to_own_ip():
+    decoded = decode_trace([cond(0x100, True)])
+    assert decoded[0].target == 0x100
+
+
+def test_non_branch_decoding():
+    decoded = decode_trace([plain(0x100)])
+    assert decoded[0].branch_type is BranchType.NOT_BRANCH
+    assert not decoded[0].is_branch
+    assert decoded[0].src_regs == (2,)
+
+
+def test_load_store_flags():
+    load = ChampSimInstr(ip=1, src_mem=(0x40,))
+    store = ChampSimInstr(ip=2, dst_mem=(0x40,))
+    decoded = decode_trace([load, store])
+    assert decoded[0].is_load and not decoded[0].is_store
+    assert decoded[1].is_store and not decoded[1].is_load
+
+
+def test_rules_are_applied():
+    # Conditional reading a GPR: indirect under ORIGINAL, conditional
+    # under PATCHED (the paper's ChampSim patch).
+    instr = ChampSimInstr(
+        ip=0x100,
+        is_branch=True,
+        branch_taken=True,
+        src_regs=(IP, 31),
+        dst_regs=(IP,),
+    )
+    stream = [instr, plain(0x4000)]
+    assert decode_trace(stream, BranchRules.ORIGINAL)[0].branch_type is (
+        BranchType.INDIRECT
+    )
+    assert decode_trace(stream, BranchRules.PATCHED)[0].branch_type is (
+        BranchType.CONDITIONAL
+    )
+
+
+def test_empty_trace():
+    assert decode_trace([]) == []

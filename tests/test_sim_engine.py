@@ -1,0 +1,244 @@
+"""Interval-engine timing tests: the mechanisms behind the paper's effects.
+
+These build tiny hand-written instruction streams (loops over small code
+regions, so the instruction side stays warm) and assert on relative cycle
+counts, pinning down the engine's first-order behaviours: dependency
+stalls, cache-latency completion, redirect-at-resolve, RAS behaviour,
+ROB and width limits.
+"""
+
+import random
+
+from repro.champsim.branch_info import BranchRules
+from repro.champsim.regs import (
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER as IP,
+    REG_STACK_POINTER as SP,
+)
+from repro.champsim.trace import ChampSimInstr
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+
+
+def run(instrs, rules=BranchRules.ORIGINAL, **config_overrides):
+    config = SimConfig.main(
+        l1d_prefetcher="", l2_prefetcher="", fdip_lookahead=0, **config_overrides
+    )
+    return Simulator(config).run(instrs, rules)
+
+
+def alu(ip, dst=None, srcs=()):
+    return ChampSimInstr(
+        ip=ip, dst_regs=(dst,) if dst else (), src_regs=tuple(srcs)
+    )
+
+
+def load(ip, dst, addr):
+    return ChampSimInstr(ip=ip, dst_regs=(dst,), src_mem=(addr,))
+
+
+#: Small looped code region: 16 distinct PCs (one cacheline).
+def loop_pc(i, stride=4, span=16, base=0x400000):
+    return base + stride * (i % span)
+
+
+def straightline(n):
+    return [alu(loop_pc(i), dst=1 + (i % 4)) for i in range(n)]
+
+
+def test_ipc_bounded_by_width():
+    stats = run(straightline(3000))
+    assert stats.ipc <= 6.0
+    assert stats.ipc > 2.0  # independent ALUs in warm code should flow
+
+
+def test_dependency_chain_serialises():
+    chained = [alu(loop_pc(i), dst=1, srcs=(1,)) for i in range(3000)]
+    chain_stats = run(chained)
+    flat_stats = run(straightline(3000))
+    assert chain_stats.ipc < flat_stats.ipc / 2
+    assert chain_stats.ipc <= 1.05  # one ALU per cycle at best
+
+
+def test_cache_miss_latency_exposed_through_dependents():
+    """A pointer-chase chain pays the full latency of each miss."""
+
+    def workload(addresses):
+        instrs = []
+        for i, addr in enumerate(addresses):
+            pc = loop_pc(i, span=16)
+            # Each load's address register is the previous load's result:
+            # a serial chain, like a linked-list walk.
+            instrs.append(
+                ChampSimInstr(ip=pc, dst_regs=(1,), src_regs=(1,), src_mem=(addr,))
+            )
+        return instrs
+
+    cold = run(workload([0x10_000_000 + 0x10000 * i for i in range(300)]))
+    warm = run(workload([0x10_000_000] * 300))
+    assert warm.ipc > 5 * cold.ipc
+    assert cold.l1d_mpki > 900  # every chase load misses
+
+
+def test_rob_limits_memory_level_parallelism():
+    """Independent cold loads overlap only within the ROB window."""
+    loads = [
+        load(loop_pc(i), dst=1 + (i % 4), addr=0x10_000_000 + 0x10000 * i)
+        for i in range(600)
+    ]
+    big = run(loads, rob_size=512)
+    small = run(loads, rob_size=16)
+    assert big.ipc > 1.5 * small.ipc
+
+
+def _branchy(random_direction, n=2000):
+    """A loop of 8 static branches; direction per profile."""
+    rng = random.Random(3)
+    instrs = []
+    for i in range(n):
+        ip = 0x400000 + 8 * (i % 8)
+        taken = rng.random() < 0.5 if random_direction else (i % 8 == 7)
+        instrs.append(
+            ChampSimInstr(
+                ip=ip,
+                is_branch=True,
+                branch_taken=taken,
+                src_regs=(IP, REG_FLAGS),
+                dst_regs=(IP,),
+            )
+        )
+    # Normalise the follow-on IPs so taken targets are consistent.
+    fixed = []
+    for idx, instr in enumerate(instrs):
+        fixed.append(instr)
+    return fixed
+
+
+def test_branch_mispredicts_cost_cycles():
+    predictable = run(_branchy(False))
+    unpredictable = run(_branchy(True))
+    assert unpredictable.ipc < predictable.ipc
+    assert unpredictable.direction_mpki > 100
+    assert predictable.direction_mpki < 60  # the loop pattern is learnable
+
+
+def test_late_resolving_mispredicts_cost_more():
+    """The flag-reg / branch-regs mechanism in isolation.
+
+    The same mispredict stream costs more when every branch depends on a
+    cold load than when it depends on nothing that is in flight.
+    """
+
+    def workload(dependent):
+        rng = random.Random(11)
+        instrs = []
+        for i in range(500):
+            ip = 0x400000 + 16 * (i % 4)
+            addr = 0x10_000_000 + 0x10000 * i  # always cold
+            instrs.append(load(ip, dst=9, addr=addr))
+            taken = rng.random() < 0.5
+            instrs.append(
+                ChampSimInstr(
+                    ip=ip + 4,
+                    is_branch=True,
+                    branch_taken=taken,
+                    src_regs=(IP, 9) if dependent else (IP, REG_FLAGS),
+                    dst_regs=(IP,),
+                )
+            )
+        return instrs
+
+    independent = run(workload(False), BranchRules.PATCHED, rob_size=64)
+    dependent = run(workload(True), BranchRules.PATCHED, rob_size=64)
+    assert dependent.ipc < independent.ipc * 0.9
+
+
+def test_misclassified_return_corrupts_ras():
+    """Calls typed as returns cause return-target mispredicts (Fig. 5)."""
+
+    def workload(call_as_return):
+        instrs = []
+        for i in range(400):
+            ip = 0x400000 + 8 * (i % 8)
+            callee = 0x500000 + (i % 4) * 0x1000
+            if call_as_return:
+                # Register signature of a return (pops the RAS).
+                call = ChampSimInstr(
+                    ip=ip, is_branch=True, branch_taken=True,
+                    src_regs=(SP,), dst_regs=(IP, SP),
+                )
+            else:
+                call = ChampSimInstr(
+                    ip=ip, is_branch=True, branch_taken=True,
+                    src_regs=(IP, SP, 31), dst_regs=(IP, SP),
+                )
+            instrs.append(call)
+            instrs.append(alu(callee, dst=1))
+            # Genuine return back to the call site + 4.
+            instrs.append(
+                ChampSimInstr(
+                    ip=callee + 4, is_branch=True, branch_taken=True,
+                    src_regs=(SP,), dst_regs=(IP, SP),
+                )
+            )
+            instrs.append(alu(ip + 4, dst=2))
+        return instrs
+
+    buggy = run(workload(True))
+    fixed = run(workload(False))
+    assert buggy.ras_mpki > 5 * max(fixed.ras_mpki, 0.5)
+    assert fixed.ipc > buggy.ipc
+
+
+def test_warmup_excludes_early_stats():
+    instrs = straightline(1000)
+    full = run(instrs)
+    warm = run(instrs, warmup_fraction=0.5)
+    assert warm.instructions == 500
+    assert full.instructions == 1000
+
+
+def test_ideal_targets_suppress_target_misses():
+    rng = random.Random(5)
+    instrs = []
+    for i in range(500):
+        ip = 0x400000 + 8 * (i % 8)
+        target = 0x500000 + rng.randrange(64) * 0x100
+        instrs.append(
+            ChampSimInstr(
+                ip=ip, is_branch=True, branch_taken=True,
+                src_regs=(31,), dst_regs=(IP,),
+            )
+        )
+        instrs.append(alu(target, dst=1))
+        instrs.append(
+            ChampSimInstr(
+                ip=target + 4, is_branch=True, branch_taken=True, dst_regs=(IP,)
+            )
+        )
+
+    real = run(instrs)
+    ideal = run(instrs, ideal_targets=True)
+    assert real.target_mpki > 0
+    assert ideal.target_mpki == 0
+    assert ideal.ipc >= real.ipc
+
+
+def test_fdip_reduces_instruction_stalls():
+    """Walking a big code footprint is faster with FDIP runahead."""
+    instrs = [alu(0x400000 + 4 * i, dst=1 + (i % 4)) for i in range(4000)]
+    no_fdip = run(instrs)
+    with_fdip = Simulator(
+        SimConfig.main(l1d_prefetcher="", l2_prefetcher="", fdip_lookahead=16)
+    ).run(instrs)
+    assert with_fdip.ipc > 1.5 * no_fdip.ipc
+
+
+def test_deterministic_simulation(small_trace):
+    from repro.core import Improvement, convert_trace
+
+    instrs = convert_trace(small_trace, Improvement.ALL)
+    a = Simulator(SimConfig.main()).run(instrs)
+    b = Simulator(SimConfig.main()).run(instrs)
+    assert a.ipc == b.ipc
+    assert a.cycles == b.cycles

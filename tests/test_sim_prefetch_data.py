@@ -1,0 +1,105 @@
+"""Data-prefetcher tests (ip-stride and next-line)."""
+
+from repro.sim.cache.hierarchy import CacheHierarchy
+from repro.sim.config import SimConfig
+from repro.sim.prefetch import make_data_prefetcher
+from repro.sim.prefetch.ip_stride import IpStridePrefetcher
+from repro.sim.prefetch.next_line import NextLinePrefetcher
+from repro.sim.stats import SimStats
+
+import pytest
+
+
+def bare_hierarchy():
+    stats = SimStats()
+    h = CacheHierarchy(SimConfig.main(), stats)
+    h.l1d_prefetcher = None
+    h.l2_prefetcher = None
+    return h, stats
+
+
+def test_registry():
+    assert isinstance(make_data_prefetcher("ip_stride", "l1d"), IpStridePrefetcher)
+    assert isinstance(make_data_prefetcher("next_line", "l2"), NextLinePrefetcher)
+    assert make_data_prefetcher("", "l1d") is None
+    with pytest.raises(ValueError):
+        make_data_prefetcher("stream", "l2")
+
+
+def test_ip_stride_needs_confidence():
+    h, stats = bare_hierarchy()
+    pf = IpStridePrefetcher()
+    pf.on_access(0x10, 0x1000, True, h, 0)
+    pf.on_access(0x10, 0x1040, True, h, 1)  # first stride observation
+    assert stats.prefetches_issued == {}
+    pf.on_access(0x10, 0x1080, True, h, 2)
+    pf.on_access(0x10, 0x10C0, True, h, 3)  # confidence reached
+    assert stats.prefetches_issued.get("L1D", 0) > 0
+
+
+def test_ip_stride_covers_stream():
+    """After training, a strided stream stops missing."""
+    h, stats = bare_hierarchy()
+    pf = IpStridePrefetcher(degree=4)
+    addr = 0x100000
+    misses_late = 0
+    for i in range(64):
+        now = i * 300  # generous spacing: prefetches have time to land
+        result = h.access_data(0x10, addr, now)
+        pf.on_access(0x10, addr, result.l1_hit, h, now)
+        if i > 16 and result.source != "L1":
+            misses_late += 1
+        addr += 64
+    assert misses_late == 0
+
+
+def test_ip_stride_sub_line_strides_prefetch_whole_lines():
+    h, stats = bare_hierarchy()
+    pf = IpStridePrefetcher(degree=2)
+    for i in range(8):
+        pf.on_access(0x10, 0x1000 + i * 8, True, h, i)
+    # With an 8-byte stride, prefetches must still move line by line.
+    assert h.l2.present(0x1040)
+
+
+def test_ip_stride_resets_on_stride_change():
+    h, stats = bare_hierarchy()
+    pf = IpStridePrefetcher()
+    for i in range(4):
+        pf.on_access(0x10, 0x1000 + i * 64, True, h, i)
+    issued_before = dict(stats.prefetches_issued)
+    pf.on_access(0x10, 0x9000, True, h, 10)  # stride broken
+    pf.on_access(0x10, 0x9100, True, h, 11)  # new stride, conf 0
+    assert stats.prefetches_issued == issued_before
+
+
+def test_ip_stride_table_eviction():
+    pf = IpStridePrefetcher(table_size=2)
+    h, _ = bare_hierarchy()
+    for ip in (0x10, 0x20, 0x30):
+        pf.on_access(ip, 0x1000, True, h, 0)
+    assert len(pf._table) == 2
+
+
+def test_ip_stride_negative_stride():
+    h, stats = bare_hierarchy()
+    pf = IpStridePrefetcher(degree=1)
+    for i in range(5):
+        pf.on_access(0x10, 0x10000 - i * 64, True, h, i)
+    assert h.l2.present(0x10000 - 5 * 64)
+
+
+def test_next_line_prefetches_following_lines():
+    h, stats = bare_hierarchy()
+    pf = NextLinePrefetcher(degree=2)
+    pf.on_access(0x10, 0x1000, False, h, 0)
+    assert h.l2.present(0x1040)
+    assert h.l2.present(0x1080)
+    assert not h.l2.present(0x10C0)
+
+
+def test_next_line_fill_l1_option():
+    h, stats = bare_hierarchy()
+    pf = NextLinePrefetcher(degree=1, fill_l1=True)
+    pf.on_access(0x10, 0x1000, False, h, 0)
+    assert h.l1d.present(0x1040)

@@ -1,0 +1,82 @@
+"""SimStats unit tests."""
+
+from repro.champsim.branch_info import BranchType
+from repro.sim.stats import SimStats
+
+
+def test_ipc():
+    stats = SimStats()
+    stats.instructions = 3000
+    stats.cycles = 1500
+    assert stats.ipc == 2.0
+
+
+def test_ipc_zero_cycles():
+    assert SimStats().ipc == 0.0
+
+
+def test_branch_accounting_counts_each_branch_once():
+    stats = SimStats()
+    stats.count_branch(BranchType.CONDITIONAL, True, True, True)
+    stats.instructions = 1000
+    assert stats.direction_mispredicts == 1
+    assert stats.target_mispredicts == 1
+    assert stats.mispredicted_branches == 1
+    assert stats.branch_mpki == 1.0
+    assert stats.direction_mpki == 1.0
+    assert stats.target_mpki == 1.0
+
+
+def test_ras_mpki_counts_only_returns():
+    stats = SimStats()
+    stats.count_branch(BranchType.RETURN, True, False, True)
+    stats.count_branch(BranchType.INDIRECT, True, False, True)
+    stats.instructions = 1000
+    assert stats.ras_mpki == 1.0
+    assert stats.target_mpki == 2.0
+
+
+def test_branches_by_type():
+    stats = SimStats()
+    for _ in range(3):
+        stats.count_branch(BranchType.DIRECT_CALL, True, False, False)
+    assert stats.branches_by_type[BranchType.DIRECT_CALL] == 3
+    assert stats.branches == 3
+    assert stats.taken_branches == 3
+
+
+def test_cache_mpki():
+    stats = SimStats()
+    stats.instructions = 2000
+    stats.count_cache_access("L1I", miss=True)
+    stats.count_cache_access("L1I", miss=False)
+    assert stats.l1i_mpki == 0.5
+    assert stats.cache_accesses["L1I"] == 2
+    assert stats.l1d_mpki == 0.0
+
+
+def test_disabled_stats_count_nothing():
+    stats = SimStats(enabled=False)
+    stats.count_instruction()
+    stats.count_branch(BranchType.CONDITIONAL, True, True, False)
+    stats.count_cache_access("L1D", miss=True)
+    stats.count_prefetch("L2")
+    assert stats.instructions == 0
+    assert stats.branches == 0
+    assert stats.cache_misses == {}
+    assert stats.prefetches_issued == {}
+
+
+def test_mpki_with_zero_instructions():
+    stats = SimStats()
+    stats.count_branch(BranchType.CONDITIONAL, True, True, False)
+    assert stats.branch_mpki == 0.0
+
+
+def test_summary_contains_all_levels():
+    stats = SimStats()
+    stats.instructions = 10
+    stats.cycles = 20
+    text = stats.summary()
+    for token in ("IPC", "L1I", "L1D", "L2", "LLC", "RAS"):
+        assert token in text

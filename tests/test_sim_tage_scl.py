@@ -1,0 +1,137 @@
+"""TAGE-SC-L component tests: loop predictor and statistical corrector."""
+
+import random
+
+import pytest
+
+from repro.sim.branch import TageSCL, Tage, make_direction_predictor
+from repro.sim.branch.tage_scl import LoopPredictor, StatisticalCorrector
+
+
+def accuracy(predictor, stream):
+    correct = 0
+    for ip, taken in stream:
+        if predictor.predict(ip) == taken:
+            correct += 1
+        predictor.update(ip, taken)
+    return correct / len(stream)
+
+
+def loop_stream(trips, visits, ip=0x1000):
+    stream = []
+    for _ in range(visits):
+        for i in range(trips):
+            stream.append((ip, i < trips - 1))
+    return stream
+
+
+# --------------------------------------------------------------- loop part
+
+
+def test_loop_predictor_learns_fixed_trip_count():
+    loop = LoopPredictor()
+    # Train over a few visits of a 5-trip loop.
+    for _ in range(5):
+        for i in range(5):
+            loop.update(0x1000, i < 4)
+    # Now it predicts the whole visit including the exit.
+    for i in range(5):
+        assert loop.predict(0x1000) == (i < 4)
+        loop.update(0x1000, i < 4)
+
+
+def test_loop_predictor_stays_silent_when_unconfident():
+    loop = LoopPredictor()
+    loop.update(0x1000, True)
+    assert loop.predict(0x1000) is None
+
+
+def test_loop_predictor_resets_on_trip_change():
+    loop = LoopPredictor()
+    for _ in range(5):
+        for i in range(5):
+            loop.update(0x1000, i < 4)
+    # Trip count changes to 9: confidence collapses, no wrong override.
+    for i in range(9):
+        loop.update(0x1000, i < 8)
+    prediction = loop.predict(0x1000)
+    assert prediction is None or prediction is True
+
+
+def test_loop_predictor_ignores_single_iteration_loops():
+    loop = LoopPredictor()
+    for _ in range(10):
+        loop.update(0x1000, False)  # "loops" of one iteration
+    assert loop.predict(0x1000) is None
+
+
+def test_loop_predictor_table_bound():
+    loop = LoopPredictor(table_size=4)
+    for pc in range(100):
+        loop.update(pc, False)
+    assert len(loop._table) <= 4
+
+
+def test_scl_beats_tage_on_long_fixed_loops():
+    """Trip counts beyond per-branch history reach: the L part's job."""
+    stream = loop_stream(trips=200, visits=30)
+    assert accuracy(TageSCL(), stream) >= accuracy(Tage(), stream)
+    assert accuracy(TageSCL(), stream) > 0.99
+
+
+# ---------------------------------------------------------- corrector part
+
+
+def test_corrector_learns_to_flip_bad_tage_calls():
+    corrector = StatisticalCorrector()
+    # TAGE says taken, reality says not-taken, consistently.
+    for _ in range(50):
+        corrector.update(0x1000, True, False)
+    assert corrector.vote(0x1000, True) is False
+
+
+def test_corrector_defers_when_unconfident():
+    corrector = StatisticalCorrector()
+    assert corrector.vote(0x1000, True) is True
+    assert corrector.vote(0x1000, False) is False
+
+
+def test_scl_improves_on_noisy_biased_branches():
+    rng = random.Random(1)
+    stream = [(0x2000, rng.random() < 0.8) for _ in range(6000)]
+    assert accuracy(TageSCL(), stream) > accuracy(Tage(), stream)
+
+
+# ------------------------------------------------------------- composition
+
+
+def test_registry_builds_tage_scl():
+    predictor = make_direction_predictor("tage-sc-l")
+    assert isinstance(predictor, TageSCL)
+
+
+def test_scl_no_worse_on_standard_patterns():
+    patterns = [
+        [(0x100, i % 2 == 0) for i in range(3000)],  # alternation
+        [(0x100, True)] * 3000,  # constant
+        loop_stream(trips=4, visits=500),  # short loop
+    ]
+    for stream in patterns:
+        assert accuracy(TageSCL(), stream) >= accuracy(Tage(), stream) - 0.02
+
+
+def test_scl_in_full_simulation(small_trace):
+    from repro.core import Improvement, convert_trace
+    from repro.sim import SimConfig, Simulator
+
+    instrs = convert_trace(small_trace, Improvement.ALL)
+    from repro.champsim.branch_info import BranchRules
+
+    tage = Simulator(SimConfig.main(direction_predictor="tage")).run(
+        instrs, BranchRules.PATCHED
+    )
+    scl = Simulator(SimConfig.main(direction_predictor="tage-sc-l")).run(
+        instrs, BranchRules.PATCHED
+    )
+    # Same workload, comparable quality (SC-L should not be much worse).
+    assert scl.direction_mpki <= tage.direction_mpki * 1.2

@@ -1,0 +1,84 @@
+"""Generator and suite edge cases."""
+
+import pytest
+
+from repro.core import Converter, Improvement
+from repro.cvp.record import CvpRecord
+from repro.synth import make_trace
+from repro.synth.generator import MAX_CALL_DEPTH, TraceGenerator
+from repro.synth.profiles import CATEGORY_PROFILES, profile_for_trace
+from repro.synth.suite import cvp1_public_suite, ipc1_suite
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "srv_0",
+        "srv_63",
+        "compute_int_0",
+        "compute_int_46",
+        "compute_fp_0",
+        "compute_fp_12",
+        "crypto_0",
+        "crypto_10",
+        "secret_srv7",
+        "secret_int_919",
+    ],
+)
+def test_every_category_generates_and_converts(name):
+    """Suite corners: generation → conversion never crashes."""
+    records = make_trace(name, 800)
+    assert len(records) == 800
+    converter = Converter(Improvement.ALL)
+    instrs = list(converter.convert(records))
+    assert len(instrs) >= 800
+
+
+def test_tiny_budgets():
+    for budget in (1, 2, 3, 7):
+        assert len(make_trace("crypto_0", budget)) == budget
+
+
+def test_deep_call_chains_are_capped():
+    """The interpreter never recurses past MAX_CALL_DEPTH frames."""
+    import sys
+
+    limit = sys.getrecursionlimit()
+    # If the cap failed, 20k instructions of a call-heavy profile would
+    # overflow Python's stack long before finishing.
+    records = make_trace("srv_7", 20_000)
+    assert len(records) == 20_000
+    assert sys.getrecursionlimit() == limit
+    assert MAX_CALL_DEPTH < 64
+
+
+def test_all_records_are_valid_cvp_records(small_trace):
+    for record in small_trace:
+        assert isinstance(record, CvpRecord)  # invariants ran in __post_init__
+
+
+def test_base_profiles_are_self_consistent():
+    for profile in CATEGORY_PROFILES.values():
+        # Construction validates all fractions; just touch each.
+        assert 0 < profile.num_functions
+        assert 0 < profile.block_body_len
+
+
+def test_suite_stride_sampling_preserves_categories():
+    names = [name for name, _ in cvp1_public_suite(instructions=50, stride=20)]
+    prefixes = {name.rsplit("_", 1)[0] for name in names}
+    assert "srv" in prefixes
+
+
+def test_ipc1_suite_full_iteration_smoke():
+    count = 0
+    for name, records in ipc1_suite(instructions=60):
+        assert len(records) == 60
+        count += 1
+    assert count == 50
+
+
+def test_profile_for_trace_is_pure():
+    a = profile_for_trace("srv_31")
+    b = profile_for_trace("srv_31")
+    assert a == b and a is not b

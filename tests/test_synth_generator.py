@@ -1,0 +1,164 @@
+"""Dynamic trace-generator tests: the invariants the converter relies on."""
+
+import pytest
+
+from repro.cvp.addrmode import infer_addressing
+from repro.cvp.isa import InstClass, LINK_REGISTER
+from repro.cvp.reader import CvpTraceReader
+from repro.synth import make_trace
+from repro.synth.generator import TraceGenerator
+from repro.synth.suite import (
+    IPC1_TO_CVP1,
+    cvp1_public_trace_names,
+    cvp1_public_suite,
+    ipc1_suite,
+    ipc1_trace_names,
+)
+
+
+def test_exact_instruction_count():
+    assert len(make_trace("crypto_0", 777)) == 777
+
+
+def test_zero_budget():
+    assert make_trace("crypto_0", 0) == []
+
+
+def test_generation_is_deterministic():
+    assert make_trace("srv_9", 1000) == make_trace("srv_9", 1000)
+
+
+def test_different_seeds_differ():
+    a = make_trace("srv_9", 1000)
+    b = make_trace("srv_9", 1000, seed="other")
+    assert a != b
+
+
+def test_prefix_property():
+    """A shorter trace is a prefix of a longer one (same seed)."""
+    short = make_trace("compute_fp_1", 500)
+    long = make_trace("compute_fp_1", 1500)
+    assert long[:500] == short
+
+
+def test_control_flow_consistency(small_trace):
+    """Taken branches land exactly on the next record's PC.
+
+    ChampSim infers branch targets from the following instruction's IP,
+    so this invariant is what makes the converted traces simulate
+    correctly.  Sequential flow may skip small reserved PC gaps (the
+    layout holds two 4-byte slots per body position), so non-branch
+    records only require a small forward step.
+    """
+    for current, following in zip(small_trace, small_trace[1:]):
+        if current.branch_taken:
+            assert current.branch_target == following.pc, (
+                f"taken branch at pc={current.pc:#x} targets "
+                f"{current.branch_target:#x} but next record is "
+                f"{following.pc:#x}"
+            )
+        else:
+            gap = following.pc - current.pc
+            assert 4 <= gap <= 64, f"sequential gap {gap} at pc={current.pc:#x}"
+
+
+def test_calls_and_returns_balance(small_trace):
+    """Return targets equal call sites + 4 (exact RAS semantics)."""
+    stack = []
+    for record in small_trace:
+        if record.is_branch and LINK_REGISTER in record.dst_regs:
+            stack.append(record.pc + 4)
+        elif (
+            record.inst_class is InstClass.UNCOND_INDIRECT_BRANCH
+            and LINK_REGISTER in record.src_regs
+            and not record.dst_regs
+        ):
+            assert stack, "return without a matching call"
+            assert record.branch_target == stack.pop()
+
+
+def test_register_values_consistent_for_base_updates(srv_trace):
+    """Base-update loads write base ± immediate, as real hardware would."""
+    reader = CvpTraceReader(srv_trace)
+    checked = 0
+    for record in reader.records_with_registers():
+        if not record.is_load:
+            continue
+        info = infer_addressing(record, reader.registers)
+        if info.is_base_update:
+            assert abs(info.base_value - record.mem_address) <= 512
+            checked += 1
+    assert checked > 0
+
+
+def test_affected_trace_contains_blr_x30(srv_trace):
+    blrs = [
+        r
+        for r in srv_trace
+        if r.is_branch
+        and LINK_REGISTER in r.src_regs
+        and LINK_REGISTER in r.dst_regs
+    ]
+    assert blrs, "srv_3 must exercise the call-stack bug"
+
+
+def test_trace_contains_all_improvement_material(small_trace):
+    """One trace exercises every converter code path."""
+    from repro.cvp.analysis import characterize
+
+    ch = characterize(small_trace)
+    assert ch.zero_dst_alu_fp > 0  # flag-reg
+    assert ch.zero_dst_memory > 0  # mem-regs (forged X0)
+    assert ch.base_update_loads > 0  # base-update
+    assert ch.returns > 0  # call-stack
+    assert ch.cond_branches_with_sources > 0  # branch-regs
+
+
+def test_conditional_directions_vary(small_trace):
+    outcomes = {
+        r.branch_taken
+        for r in small_trace
+        if r.inst_class is InstClass.COND_BRANCH
+    }
+    assert outcomes == {True, False}
+
+
+def test_generator_accepts_profile_object():
+    from repro.synth.profiles import profile_for_trace
+
+    gen = TraceGenerator(profile_for_trace("crypto_3"))
+    assert len(gen.generate(100)) == 100
+
+
+# ------------------------------------------------------------------- suites
+
+
+def test_public_suite_has_135_names():
+    names = cvp1_public_trace_names()
+    assert len(names) == 135
+    assert "srv_3" in names and "srv_62" in names
+    assert "compute_int_46" in names and "compute_int_23" in names
+
+
+def test_ipc1_suite_has_50_names():
+    assert len(ipc1_trace_names()) == 50
+    assert len(IPC1_TO_CVP1) == 50
+
+
+def test_ipc1_mapping_matches_table2_rows():
+    assert IPC1_TO_CVP1["server_001"] == "secret_srv160"
+    assert IPC1_TO_CVP1["client_001"] == "secret_int_294"
+    assert IPC1_TO_CVP1["spec_x264_001"] == "secret_int_919"
+
+
+def test_suite_iteration_with_stride_and_limit():
+    items = list(cvp1_public_suite(instructions=200, limit=3, stride=11))
+    assert len(items) == 3
+    for name, records in items:
+        assert len(records) == 200
+
+
+def test_ipc1_suite_generates_from_cvp1_identity():
+    (name, records), = list(ipc1_suite(instructions=300, limit=1))
+    assert name == "client_001"
+    assert records == make_trace("secret_int_294", 300)

@@ -1,0 +1,93 @@
+"""Workload-profile tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.synth.profiles import (
+    AFFECTED_X30_TRACES,
+    CATEGORY_PROFILES,
+    WorkloadProfile,
+    category_of,
+    profile_for_trace,
+)
+
+
+def test_four_categories_exist():
+    assert set(CATEGORY_PROFILES) == {"compute_int", "compute_fp", "crypto", "srv"}
+
+
+@pytest.mark.parametrize(
+    "name,category",
+    [
+        ("srv_0", "srv"),
+        ("compute_int_46", "compute_int"),
+        ("compute_fp_3", "compute_fp"),
+        ("crypto_9", "crypto"),
+        ("secret_srv160", "srv"),
+        ("secret_int_294", "compute_int"),
+    ],
+)
+def test_category_of(name, category):
+    assert category_of(name) == category
+
+
+def test_category_of_unknown_raises():
+    with pytest.raises(ValueError):
+        category_of("mystery_trace_7")
+
+
+def test_profiles_are_deterministic():
+    assert profile_for_trace("srv_17") == profile_for_trace("srv_17")
+
+
+def test_profiles_differ_across_traces():
+    a = profile_for_trace("srv_17")
+    b = profile_for_trace("srv_18")
+    assert a != b
+
+
+def test_affected_traces_carry_x30_calls():
+    for name in AFFECTED_X30_TRACES:
+        assert profile_for_trace(name).x30_indirect_call_frac > 0
+
+
+def test_most_traces_unaffected_by_x30_bug():
+    affected = sum(
+        1
+        for i in range(47)
+        if profile_for_trace(f"compute_int_{i}").x30_indirect_call_frac > 0
+    )
+    assert affected < 10  # a minority, as in the paper
+
+
+def test_base_update_fraction_spreads():
+    fracs = [
+        profile_for_trace(f"srv_{i}").base_update_load_frac for i in range(64)
+    ]
+    assert min(fracs) < 0.02
+    assert max(fracs) > 0.10
+
+
+def test_profile_validation_rejects_bad_mix():
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="x", category="srv", load_frac=0.5, store_frac=0.5
+        )
+
+
+def test_profile_validation_rejects_out_of_range_fraction():
+    with pytest.raises(ValueError):
+        WorkloadProfile(name="x", category="srv", bias=1.5)
+
+
+def test_server_profiles_have_larger_code_footprints():
+    srv = CATEGORY_PROFILES["srv"]
+    crypto = CATEGORY_PROFILES["crypto"]
+    assert srv.num_functions > 5 * crypto.num_functions
+
+
+def test_replace_keeps_validation():
+    base = CATEGORY_PROFILES["srv"]
+    with pytest.raises(ValueError):
+        dataclasses.replace(base, load_frac=2.0)

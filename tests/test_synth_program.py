@@ -1,0 +1,98 @@
+"""Static program-model tests."""
+
+from repro.synth.profiles import profile_for_trace
+from repro.synth.program import (
+    BODY_SLOT_BYTES,
+    CODE_BASE,
+    build_program,
+)
+
+
+def program(name="compute_int_2"):
+    return build_program(profile_for_trace(name))
+
+
+def test_program_is_deterministic():
+    a, b = program(), program()
+    assert len(a.functions) == len(b.functions)
+    for fa, fb in zip(a.functions, b.functions):
+        assert [blk.terminator for blk in fa.blocks] == [
+            blk.terminator for blk in fb.blocks
+        ]
+        assert [blk.body for blk in fa.blocks] == [blk.body for blk in fb.blocks]
+
+
+def test_layout_is_contiguous_and_non_overlapping():
+    prog = program()
+    for func in range(len(prog.functions) - 1):
+        end_of_func = prog.block_start(func, len(prog.functions[func].blocks))
+        assert end_of_func == prog.function_entry(func + 1)
+
+
+def test_terminator_sits_before_next_block():
+    prog = program()
+    assert prog.terminator_pc(0, 0) + 4 == prog.block_start(0, 1)
+
+
+def test_body_pcs_within_block():
+    prog = program()
+    blocks = prog.functions[0].blocks
+    for slot in range(len(blocks[0].body)):
+        pc = prog.body_pc(0, 0, slot, 1)
+        assert prog.block_start(0, 0) <= pc < prog.setup_pc(0, 0, 0)
+
+
+def test_setup_pcs_between_body_and_terminator():
+    prog = program()
+    assert prog.setup_pc(0, 0, 0) >= prog.block_start(0, 0)
+    assert prog.setup_pc(0, 0, 2) < prog.terminator_pc(0, 0)
+
+
+def test_code_base():
+    assert program().function_entry(0) == CODE_BASE
+
+
+def test_dispatcher_calls_out_from_every_nonfinal_block():
+    prog = program("srv_5")
+    dispatcher = prog.functions[0]
+    for block in dispatcher.blocks[:-1]:
+        assert block.terminator.kind == "call"
+
+
+def test_last_block_returns():
+    prog = program()
+    for func in prog.functions:
+        assert func.blocks[-1].terminator.kind == "ret"
+
+
+def test_skip_terminators_never_jump_past_function():
+    prog = program("srv_5")
+    for func in prog.functions:
+        num_blocks = len(func.blocks)
+        for idx, block in enumerate(func.blocks):
+            if block.terminator.kind == "skip":
+                assert idx + 2 <= num_blocks - 1
+
+
+def test_indirect_targets_exclude_dispatcher():
+    prog = program("srv_5")
+    assert 0 not in prog.indirect_targets
+    assert prog.indirect_targets  # non-empty
+
+
+def test_chase_ring_nodes_far_apart():
+    """Nodes must never be mistaken for base updates (|delta| > 512)."""
+    prog = program("compute_int_2")
+    ring = sorted(prog.chase_ring)
+    assert all(b - a > 512 for a, b in zip(ring, ring[1:]))
+
+
+def test_affected_program_contains_x30_call_sites():
+    prog = build_program(profile_for_trace("srv_3"))
+    forms = [
+        blk.terminator.form
+        for func in prog.functions
+        for blk in func.blocks
+        if blk.terminator.kind == "call"
+    ]
+    assert "indirect_x30" in forms
