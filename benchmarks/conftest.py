@@ -10,7 +10,17 @@ The :class:`~repro.experiments.runner.ExperimentRunner` is session-scoped
 and memoises conversions and simulations, so later benchmarks reuse the
 runs of earlier ones — each benchmark's time reflects the *incremental*
 work its experiment adds.
+
+Opt-in persistent cache: set ``REPRO_BENCH_CACHE=1`` (cache under
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) or ``REPRO_BENCH_CACHE=<dir>``
+to back the runner with an on-disk
+:class:`~repro.experiments.cache.ResultCache`; a second benchmark session
+then replays every sweep from disk.  Warm-cache timings measure the
+harness, not the simulator — leave the variable unset to benchmark real
+simulation work.
 """
+
+import os
 
 import pytest
 
@@ -21,9 +31,21 @@ INSTRUCTIONS = 6000
 STRIDE = 9
 
 
+def _bench_cache():
+    """The opt-in shared ResultCache (None unless REPRO_BENCH_CACHE set)."""
+    setting = os.environ.get("REPRO_BENCH_CACHE", "")
+    if not setting:
+        return None
+    from repro.experiments.cache import ResultCache
+
+    return ResultCache(None if setting == "1" else setting)
+
+
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner(instructions=INSTRUCTIONS, stride=STRIDE)
+    return ExperimentRunner(
+        instructions=INSTRUCTIONS, stride=STRIDE, cache=_bench_cache()
+    )
 
 
 def once(benchmark, fn, *args, **kwargs):

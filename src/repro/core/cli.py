@@ -1,8 +1,14 @@
 """``repro-convert`` — command-line twin of the artifact's ``cvp2champsim``.
 
-Usage::
+Single-file mode mirrors the paper's appendix::
 
     repro-convert -t trace.gz -i All_imps -o trace.champsimtrace.gz
+
+Suite mode is the on-disk twin of ``convert_traces_seq.sh``, with the
+per-trace work fanned out across worker processes and previously
+converted traces reused via sidecar stat files::
+
+    repro-convert --suite CVP1public --output-dir traces/ --jobs 4
 
 Unlike the artifact binary (which writes to stdout), an explicit output
 path is required; everything else mirrors the paper's appendix: ``-t``
@@ -14,19 +20,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.core.improvements import IMPROVEMENT_NAMES, parse_improvements
-from repro.core.pipeline import convert_file
+from repro.core.pipeline import convert_file, convert_suite
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-convert",
-        description="Convert a CVP-1 trace to the ChampSim format.",
+        description="Convert CVP-1 traces to the ChampSim format.",
     )
     parser.add_argument(
-        "-t", "--trace", required=True, help="input CVP-1 trace (.gz ok)"
+        "-t", "--trace", help="input CVP-1 trace (.gz ok; single-file mode)"
     )
     parser.add_argument(
         "-i",
@@ -41,13 +48,74 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-o",
         "--output",
-        required=True,
         help="output ChampSim trace (.gz/.xz compressed by suffix)",
     )
     parser.add_argument(
         "-v", "--verbose", action="store_true", help="print conversion stats"
     )
+    suite = parser.add_argument_group("suite mode")
+    suite.add_argument(
+        "--suite",
+        choices=("CVP1public", "IPC1"),
+        help="generate-and-convert a whole named suite instead of one file",
+    )
+    suite.add_argument(
+        "--output-dir", help="directory for the suite's trace pairs"
+    )
+    suite.add_argument(
+        "--instructions", type=int, default=20_000, help="trace length"
+    )
+    suite.add_argument(
+        "--limit", type=int, default=None, help="cap the number of traces"
+    )
+    suite.add_argument(
+        "--stride", type=int, default=1, help="sample every Nth suite trace"
+    )
+    suite.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for suite conversion (0 = all cores)",
+    )
+    suite.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="reconvert every trace even when sidecar stats match",
+    )
     return parser
+
+
+def _main_suite(args: argparse.Namespace, improvements) -> int:
+    from repro.experiments.cache import ConversionCache
+
+    if not args.output_dir:
+        print("repro-convert: --suite requires --output-dir", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ConversionCache(args.output_dir)
+    jobs = None if args.jobs == 0 else args.jobs
+    start = time.time()
+    results = convert_suite(
+        args.suite,
+        args.output_dir,
+        improvements,
+        instructions=args.instructions,
+        limit=args.limit,
+        stride=args.stride,
+        jobs=jobs,
+        cache=cache,
+    )
+    for result in results:
+        stats = result.stats
+        print(
+            f"{result.destination.name}: {stats.records_in} records -> "
+            f"{stats.instructions_out} instructions "
+            f"({result.branch_rules.value} rules)"
+        )
+    elapsed = time.time() - start
+    print(f"[converted {len(results)} traces in {elapsed:.1f}s jobs={args.jobs}]")
+    if cache is not None:
+        print(f"[cache {cache.describe()}]")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -56,6 +124,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         improvements = parse_improvements(args.improvement)
     except ValueError as exc:
         print(f"repro-convert: {exc}", file=sys.stderr)
+        return 2
+
+    if args.suite:
+        return _main_suite(args, improvements)
+
+    if not args.trace or not args.output:
+        print(
+            "repro-convert: single-file mode requires -t/--trace and "
+            "-o/--output (or use --suite)",
+            file=sys.stderr,
+        )
         return 2
     result = convert_file(args.trace, args.output, improvements)
     if args.verbose:

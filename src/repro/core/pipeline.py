@@ -59,6 +59,34 @@ def convert_file(
     )
 
 
+@dataclass(frozen=True)
+class _SuiteTask:
+    """One generate-write-convert unit of :func:`convert_suite`.
+
+    Must stay picklable (shipped to worker processes); the trace is
+    regenerated in the worker from ``generator`` rather than serialised.
+    """
+
+    name: str
+    generator: str
+    instructions: int
+    improvements: Improvement
+    output_dir: str
+
+
+def _convert_suite_task(task: _SuiteTask) -> ConversionResult:
+    """Worker entry point: synthesise, write the CVP trace, convert it."""
+    from repro.cvp.writer import write_trace
+    from repro.synth.generator import make_trace
+
+    records = make_trace(task.generator, task.instructions)
+    output_dir = Path(task.output_dir)
+    cvp_path = output_dir / f"{task.name}.cvp.gz"
+    out_path = output_dir / f"{task.name}.champsimtrace.gz"
+    write_trace(records, cvp_path)
+    return convert_file(cvp_path, out_path, task.improvements)
+
+
 def convert_suite(
     suite: str,
     output_dir: Union[str, Path],
@@ -66,6 +94,8 @@ def convert_suite(
     instructions: int = 20_000,
     limit: Optional[int] = None,
     stride: int = 1,
+    jobs: int = 1,
+    cache: Optional["ConversionCache"] = None,
 ) -> List[ConversionResult]:
     """Generate-and-convert a whole named suite to disk.
 
@@ -73,22 +103,67 @@ def convert_suite(
     ``suite`` is ``"CVP1public"`` or ``"IPC1"``; each trace is synthesised,
     written as ``<name>.cvp.gz`` and converted to
     ``<name>.champsimtrace.gz`` under ``output_dir``.
-    """
-    from repro.cvp.writer import write_trace
-    from repro.synth.suite import cvp1_public_suite, ipc1_suite
 
-    suites = {"CVP1public": cvp1_public_suite, "IPC1": ipc1_suite}
-    if suite not in suites:
-        raise ValueError(f"unknown suite {suite!r}; known: {sorted(suites)}")
+    ``jobs`` fans the per-trace work out across processes (results keep
+    suite order; ``None`` = all cores).  With a
+    :class:`~repro.experiments.cache.ConversionCache`, traces whose
+    sidecar key matches and whose output file is intact are skipped.
+    """
+    from repro.synth.suite import IPC1_TO_CVP1, cvp1_public_trace_names, ipc1_trace_names
+
+    if suite == "CVP1public":
+        names = cvp1_public_trace_names()
+        generator_of = {name: name for name in cvp1_public_trace_names()}
+    elif suite == "IPC1":
+        names = ipc1_trace_names()
+        generator_of = dict(IPC1_TO_CVP1)
+    else:
+        raise ValueError(
+            f"unknown suite {suite!r}; known: ['CVP1public', 'IPC1']"
+        )
+    names = names[::stride]
+    if limit is not None:
+        names = names[:limit]
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
 
-    results: List[ConversionResult] = []
-    for name, records in suites[suite](
-        instructions=instructions, limit=limit, stride=stride
-    ):
-        cvp_path = output_dir / f"{name}.cvp.gz"
-        out_path = output_dir / f"{name}.champsimtrace.gz"
-        write_trace(records, cvp_path)
-        results.append(convert_file(cvp_path, out_path, improvements))
-    return results
+    resolved: dict = {}
+    tasks: List[_SuiteTask] = []
+    task_indices: List[int] = []
+    for index, name in enumerate(names):
+        if cache is not None:
+            from repro.experiments.cache import conversion_key
+
+            key = conversion_key(
+                name, generator_of[name], instructions, improvements
+            )
+            hit = cache.load(name, key)
+            if hit is not None:
+                resolved[index] = hit
+                continue
+        tasks.append(
+            _SuiteTask(
+                name=name,
+                generator=generator_of[name],
+                instructions=instructions,
+                improvements=improvements,
+                output_dir=str(output_dir),
+            )
+        )
+        task_indices.append(index)
+
+    if tasks:
+        from repro.experiments.parallel import run_tasks
+
+        outcomes = run_tasks(tasks, jobs=jobs, task_fn=_convert_suite_task)
+        for task, index, result in zip(tasks, task_indices, outcomes):
+            if cache is not None:
+                from repro.experiments.cache import conversion_key
+
+                key = conversion_key(
+                    task.name, task.generator, instructions, improvements
+                )
+                cache.store(task.name, key, result)
+            resolved[index] = result
+
+    return [resolved[index] for index in range(len(names))]

@@ -12,11 +12,15 @@ Table 3    IPC-1 prefetcher ranking: competition vs fixed traces
 =========  ==========================================================
 
 Entry points: the :class:`ExperimentRunner` (converts and simulates with
-memoisation), per-experiment functions in :mod:`repro.experiments.figures`
-and :mod:`repro.experiments.tables`, text renderers in
-:mod:`repro.experiments.report`, and the ``repro-experiment`` CLI.
+memoisation, an optional persistent :class:`ResultCache`, and parallel
+``run_many``/``run_batch`` fan-out), per-experiment functions in
+:mod:`repro.experiments.figures` and :mod:`repro.experiments.tables`,
+text renderers in :mod:`repro.experiments.report`, and the
+``repro-experiment`` CLI.
 """
 
+from repro.experiments.cache import ConversionCache, ResultCache
+from repro.experiments.parallel import RunTask, TaskFailure, run_tasks
 from repro.experiments.runner import ExperimentRunner, RunResult
 from repro.experiments.figures import (
     figure1,
@@ -34,8 +38,13 @@ from repro.experiments.ablation import (
 __all__ = [
     "decoupled_frontend_study",
     "improvement_interaction_study",
+    "ConversionCache",
     "ExperimentRunner",
+    "ResultCache",
     "RunResult",
+    "RunTask",
+    "TaskFailure",
+    "run_tasks",
     "figure1",
     "figure2",
     "figure3",

@@ -48,16 +48,27 @@ def _speedups(
     runner: ExperimentRunner, config_base: SimConfig, improvements: Improvement
 ) -> Dict[str, float]:
     names = runner.ipc1_trace_names()
+    prefetcher_configs = {
+        prefetcher: replace(
+            config_base,
+            name=f"{config_base.name}+{prefetcher}",
+            l1i_prefetcher=prefetcher,
+        )
+        for prefetcher in IPC1_PREFETCHERS
+    }
+    runner.run_batch(
+        [
+            (n, improvements, config)
+            for config in [config_base, *prefetcher_configs.values()]
+            for n in names
+        ]
+    )
     baseline = {
         n: runner.run(n, improvements, config_base).stats.ipc for n in names
     }
     out: Dict[str, float] = {}
     for prefetcher in IPC1_PREFETCHERS:
-        config = replace(
-            config_base,
-            name=f"{config_base.name}+{prefetcher}",
-            l1i_prefetcher=prefetcher,
-        )
+        config = prefetcher_configs[prefetcher]
         out[prefetcher] = geomean(
             runner.run(n, improvements, config).stats.ipc / baseline[n]
             for n in names
@@ -117,6 +128,9 @@ def improvement_interaction_study(
         ("imp_flag-regs", Improvement.FLAG_REG),
         ("both", Improvement.BRANCH_REGS | Improvement.FLAG_REG),
     )
+    runner.sweep(
+        names, [Improvement.NONE] + [imp for _, imp in combos]
+    )
     return [
         InteractionRow(label, runner.geomean_variation(names, improvements))
         for label, improvements in combos
@@ -142,10 +156,21 @@ def finite_prf_study(
     converter at each PRF size (0 = ChampSim's unlimited renaming).
     """
     names = runner.public_trace_names()
+    configs = {
+        size: replace(SimConfig.main(prf_size=size), name=f"main-prf{size}")
+        for size in sizes
+    }
+    runner.run_batch(
+        [
+            (n, improvements, config)
+            for config in configs.values()
+            for improvements in (Improvement.NONE, Improvement.MEM_REGS)
+            for n in names
+        ]
+    )
     rows: List[PrfRow] = []
     for size in sizes:
-        config = SimConfig.main(prf_size=size)
-        config = replace(config, name=f"main-prf{size}")
+        config = configs[size]
         rows.append(
             PrfRow(
                 prf_size=size,

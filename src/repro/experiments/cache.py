@@ -1,0 +1,321 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every experiment run reduces to a pure function of a small set of inputs:
+the trace name, the synthetic-generator version, the instruction budget,
+the :class:`~repro.core.improvements.Improvement` flags, and the full
+:class:`~repro.sim.config.SimConfig`.  :class:`ResultCache` stores each
+:class:`~repro.experiments.runner.RunResult` under the SHA-256 of a
+canonical JSON encoding of those inputs, so results survive process
+boundaries: a warm cache replays a whole figure sweep without a single
+simulation.
+
+Layout (two-level fan-out keeps directories small)::
+
+    <cache_dir>/runs/<key[:2]>/<key>.json
+
+Invalidation is entirely key-driven — change any input (including
+``GENERATOR_VERSION`` or the cache schema) and the key changes, so stale
+entries are simply never read again.  Corrupt or schema-mismatched files
+are treated as misses and rewritten on the next store.  The cache
+directory defaults to ``~/.cache/repro`` and is overridden by the
+``REPRO_CACHE_DIR`` environment variable.
+
+:class:`ConversionCache` applies the same keying to on-disk suite
+conversions (``repro-convert --suite``): a sidecar JSON next to each
+output trace records the inputs and the output digest, so a re-run skips
+conversions whose inputs and output file are both intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.champsim.branch_info import BranchRules, BranchType
+from repro.core.convert import ConversionStats
+from repro.core.improvements import Improvement
+from repro.sim.config import SimConfig
+from repro.sim.stats import SimStats
+from repro.synth.generator import GENERATOR_VERSION
+
+#: Bump on any change to the serialised payload layout; old entries
+#: become unreadable (treated as misses) rather than misdecoded.
+CACHE_SCHEMA = 1
+
+#: SimStats/ConversionStats dict fields keyed by BranchType.
+_BRANCH_KEYED_FIELDS = frozenset(
+    {"target_misses_by_type", "branches_by_type", "branch_counts"}
+)
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+# ----------------------------------------------------------------------
+# serialisation
+# ----------------------------------------------------------------------
+
+
+def _stats_to_dict(stats: Any) -> Dict[str, Any]:
+    """Serialise a stats dataclass, stringifying BranchType dict keys."""
+    out: Dict[str, Any] = {}
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        if f.name in _BRANCH_KEYED_FIELDS:
+            value = {key.value: count for key, count in value.items()}
+        out[f.name] = value
+    return out
+
+
+def _stats_from_dict(cls: type, payload: Dict[str, Any]) -> Any:
+    kwargs: Dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        value = payload[f.name]
+        if f.name in _BRANCH_KEYED_FIELDS:
+            value = {BranchType(key): count for key, count in value.items()}
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def sim_stats_to_dict(stats: SimStats) -> Dict[str, Any]:
+    """JSON-safe dict for one :class:`SimStats`."""
+    return _stats_to_dict(stats)
+
+
+def sim_stats_from_dict(payload: Dict[str, Any]) -> SimStats:
+    return _stats_from_dict(SimStats, payload)
+
+
+def conversion_stats_to_dict(stats: ConversionStats) -> Dict[str, Any]:
+    """JSON-safe dict for one :class:`ConversionStats`."""
+    return _stats_to_dict(stats)
+
+
+def conversion_stats_from_dict(payload: Dict[str, Any]) -> ConversionStats:
+    return _stats_from_dict(ConversionStats, payload)
+
+
+def run_result_to_dict(result: "RunResult") -> Dict[str, Any]:  # noqa: F821
+    """JSON-safe dict for one :class:`RunResult`."""
+    return {
+        "trace": result.trace,
+        "improvements": result.improvements.value,
+        "config_name": result.config_name,
+        "stats": sim_stats_to_dict(result.stats),
+        "conversion": conversion_stats_to_dict(result.conversion),
+    }
+
+
+def run_result_from_dict(payload: Dict[str, Any]) -> "RunResult":  # noqa: F821
+    from repro.experiments.runner import RunResult
+
+    return RunResult(
+        trace=payload["trace"],
+        improvements=Improvement(payload["improvements"]),
+        config_name=payload["config_name"],
+        stats=sim_stats_from_dict(payload["stats"]),
+        conversion=conversion_stats_from_dict(payload["conversion"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+
+
+def config_fingerprint(config: SimConfig) -> Dict[str, Any]:
+    """Every field of ``config`` as JSON-safe values (tuples -> lists)."""
+    return dataclasses.asdict(config)
+
+
+def run_key(
+    trace: str,
+    improvements: Improvement,
+    config: SimConfig,
+    instructions: int,
+) -> str:
+    """Content hash identifying one (trace, improvements, config) run.
+
+    The key folds in the generator version and the cache schema, so any
+    semantic change to trace synthesis or to the payload layout
+    invalidates old entries without explicit cleanup.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "generator": GENERATOR_VERSION,
+        "trace": trace,
+        "instructions": instructions,
+        "improvements": improvements.value,
+        "config": config_fingerprint(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def conversion_key(
+    name: str,
+    generator: str,
+    instructions: int,
+    improvements: Improvement,
+) -> str:
+    """Content hash identifying one on-disk suite conversion."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "generator_version": GENERATOR_VERSION,
+        "name": name,
+        "generator": generator,
+        "instructions": instructions,
+        "improvements": improvements.value,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def file_digest(path: Union[str, Path]) -> str:
+    """SHA-256 of a file's bytes (the on-disk, possibly compressed form)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Write JSON via a same-directory temp file + rename.
+
+    Concurrent writers (parallel workers, parallel CI jobs) race benignly:
+    both write the same content-addressed payload and the last rename
+    wins.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# caches
+# ----------------------------------------------------------------------
+
+
+class ResultCache:
+    """On-disk store of :class:`RunResult` payloads, with hit counters."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Failed writes (unwritable/full cache dir).  The cache is an
+        #: optimisation: a sweep must survive a broken cache directory,
+        #: so store errors are counted and reported, never raised.
+        self.store_errors = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / "runs" / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional["RunResult"]:  # noqa: F821
+        """The cached result for ``key``, or None (counted as hit/miss).
+
+        Corrupt, truncated, or schema-mismatched entries are misses; the
+        next :meth:`store` for the key overwrites them.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError("schema mismatch")
+            result = run_result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: "RunResult") -> None:  # noqa: F821
+        payload = {"schema": CACHE_SCHEMA, "result": run_result_to_dict(result)}
+        try:
+            _atomic_write_json(self._path(key), payload)
+        except OSError:
+            self.store_errors += 1
+            return
+        self.stores += 1
+
+    def describe(self) -> str:
+        """Counter summary for CLI/CI reporting."""
+        errors = (
+            f" store_errors={self.store_errors}" if self.store_errors else ""
+        )
+        return (
+            f"hits={self.hits} misses={self.misses} stores={self.stores}"
+            f"{errors} dir={self.root}"
+        )
+
+
+class ConversionCache:
+    """Sidecar-based reuse of on-disk suite conversions.
+
+    For every converted trace, :meth:`store` writes
+    ``<name>.convstats.json`` next to the output recording the conversion
+    key, the serialised :class:`ConversionResult` fields, and the output
+    file's digest.  :meth:`load` reuses the conversion only when the key
+    matches *and* the output file still hashes to the recorded digest.
+    """
+
+    def __init__(self, output_dir: Union[str, Path]):
+        self.output_dir = Path(output_dir)
+        self.hits = 0
+        self.misses = 0
+
+    def _sidecar(self, name: str) -> Path:
+        return self.output_dir / f"{name}.convstats.json"
+
+    def load(self, name: str, key: str) -> Optional["ConversionResult"]:  # noqa: F821
+        from repro.core.pipeline import ConversionResult
+
+        try:
+            payload = json.loads(self._sidecar(name).read_text())
+            if payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError("schema mismatch")
+            if payload.get("key") != key:
+                raise ValueError("key mismatch")
+            destination = Path(payload["destination"])
+            if file_digest(destination) != payload["output_digest"]:
+                raise ValueError("output digest mismatch")
+            result = ConversionResult(
+                source=Path(payload["source"]),
+                destination=destination,
+                improvements=Improvement(payload["improvements"]),
+                branch_rules=BranchRules(payload["branch_rules"]),
+                stats=conversion_stats_from_dict(payload["stats"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, name: str, key: str, result: "ConversionResult") -> None:  # noqa: F821
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "source": str(result.source),
+            "destination": str(result.destination),
+            "improvements": result.improvements.value,
+            "branch_rules": result.branch_rules.value,
+            "stats": conversion_stats_to_dict(result.stats),
+            "output_digest": file_digest(result.destination),
+        }
+        _atomic_write_json(self._sidecar(name), payload)
+
+    def describe(self) -> str:
+        return f"hits={self.hits} misses={self.misses} dir={self.output_dir}"

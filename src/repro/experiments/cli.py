@@ -41,6 +41,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--limit", type=int, default=None, help="cap the number of traces"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweeps (0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "on-disk result cache directory (default: $REPRO_CACHE_DIR "
+            "or ~/.cache/repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
     return parser
 
 
@@ -77,8 +96,17 @@ def run_experiment(name: str, runner: ExperimentRunner) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    cache = None
+    if not args.no_cache:
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     runner = ExperimentRunner(
-        instructions=args.instructions, limit=args.limit, stride=args.stride
+        instructions=args.instructions,
+        limit=args.limit,
+        stride=args.stride,
+        cache=cache,
+        jobs=None if args.jobs == 0 else args.jobs,
     )
     chosen = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     print(f"[runner {runner.describe()}]")
@@ -87,6 +115,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(run_experiment(name, runner))
         print(f"[{name} took {time.time() - start:.1f}s]")
+    print()
+    print(f"[simulations={runner.simulations}]")
+    if cache is not None:
+        print(f"[cache {cache.describe()}]")
     return 0
 
 

@@ -39,6 +39,11 @@ class Figure1:
 def figure1(runner: ExperimentRunner) -> Figure1:
     """Figure 1: geomean IPC variation across the CVP-1 public suite."""
     names = runner.public_trace_names()
+    # One fan-out for the whole sweep; geomean_variation then reads the
+    # memoised results.
+    runner.sweep(
+        names, [Improvement.NONE] + [imps for _, imps in FIGURE1_CONFIGS]
+    )
     variation = {
         label: runner.geomean_variation(names, imps)
         for label, imps in FIGURE1_CONFIGS
@@ -59,6 +64,9 @@ class Figure2:
 def figure2(runner: ExperimentRunner) -> Figure2:
     """Figure 2: sorted per-trace IPC variation for every improvement."""
     names = runner.public_trace_names()
+    runner.sweep(
+        names, [Improvement.NONE] + [imps for _, imps in FIGURE1_CONFIGS]
+    )
     series: Dict[str, List[float]] = {}
     above: Dict[str, int] = {}
     for label, imps in FIGURE1_CONFIGS:
@@ -85,8 +93,13 @@ def figure3(runner: ExperimentRunner) -> List[Figure3Row]:
     run), the paper's x-axis.  Slowdown is ``IPC_orig / IPC_improved``
     (>1 means the improvement slowed the trace down).
     """
+    names = runner.public_trace_names()
+    runner.sweep(
+        names,
+        [Improvement.NONE, Improvement.BRANCH_REGS, Improvement.FLAG_REG],
+    )
     rows: List[Figure3Row] = []
-    for name in runner.public_trace_names():
+    for name in names:
         base = runner.run(name, Improvement.NONE).stats
         br = runner.run(name, Improvement.BRANCH_REGS).stats
         fl = runner.run(name, Improvement.FLAG_REG).stats
@@ -117,8 +130,10 @@ def figure4(runner: ExperimentRunner) -> List[Figure4Row]:
     (relative to all instructions), the paper's x-axis.  Speedup is
     ``IPC_base-update / IPC_orig``.
     """
+    names = runner.public_trace_names()
+    runner.sweep(names, [Improvement.NONE, Improvement.BASE_UPDATE])
     rows: List[Figure4Row] = []
-    for name in runner.public_trace_names():
+    for name in names:
         ch = runner.characterization(name)
         base = runner.run(name, Improvement.NONE).stats
         upd = runner.run(name, Improvement.BASE_UPDATE).stats
@@ -148,8 +163,10 @@ def figure5(runner: ExperimentRunner, top: int = 20) -> List[Figure5Row]:
     the original converter; rows come sorted by decreasing original RAS
     MPKI and the ``top`` worst are returned.
     """
+    names = runner.public_trace_names()
+    runner.sweep(names, [Improvement.NONE, Improvement.CALL_STACK])
     rows: List[Figure5Row] = []
-    for name in runner.public_trace_names():
+    for name in names:
         base = runner.run(name, Improvement.NONE).stats
         fixed = runner.run(name, Improvement.CALL_STACK).stats
         rows.append(

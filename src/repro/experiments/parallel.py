@@ -1,0 +1,155 @@
+"""Worker-pool fan-out for the embarrassingly parallel experiment sweeps.
+
+The suites are 135 (CVP-1 public) + 50 (IPC-1) independent traces; every
+(trace, improvement-set, config) tuple generates, converts, and simulates
+with no shared state, so a :class:`concurrent.futures.ProcessPoolExecutor`
+scales the sweeps to the machine.  This module keeps the pool mechanics in
+one place:
+
+- results come back in *submission order* regardless of completion order,
+  so parallel sweeps are drop-in replacements for serial loops;
+- worker exceptions are captured as values (never propagated through the
+  pool, never a hang) and each failing task is retried once before the
+  batch raises :class:`TaskFailure` with the worker traceback;
+- each worker process keeps a per-``instructions`` runner, so multiple
+  tasks for the same trace landing on one worker share a single trace
+  generation.
+
+:func:`run_tasks` is generic over the task function, so
+:func:`~repro.core.pipeline.convert_suite` reuses the same pool/retry
+machinery for on-disk conversions.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.improvements import Improvement
+from repro.sim.config import SimConfig
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One (trace, improvements, config) simulation request."""
+
+    name: str
+    improvements: Improvement
+    config: SimConfig
+    instructions: int
+
+
+class TaskFailure(RuntimeError):
+    """A task kept failing after its retry; carries worker tracebacks."""
+
+    def __init__(self, failures: Sequence[Tuple[Any, str]]):
+        self.failures = list(failures)
+        names = ", ".join(repr(_task_label(task)) for task, _ in self.failures)
+        details = "\n\n".join(tb for _, tb in self.failures)
+        super().__init__(
+            f"{len(self.failures)} task(s) failed after retry: {names}\n"
+            f"{details}"
+        )
+
+
+def _task_label(task: Any) -> str:
+    return getattr(task, "name", None) or repr(task)
+
+
+def default_jobs() -> int:
+    """All cores (the sweeps are CPU-bound pure Python)."""
+    return max(1, os.cpu_count() or 1)
+
+
+#: Per-process runner pool, keyed by instruction budget (workers are
+#: reused across tasks; the runner memoises trace generation).
+_WORKER_RUNNERS: Dict[int, Any] = {}
+
+
+def execute_task(task: RunTask) -> "RunResult":  # noqa: F821
+    """Run one task in the current process (the worker entry point).
+
+    Uses a process-local :class:`ExperimentRunner` so that several tasks
+    against the same trace (e.g. ten improvement sets of one Figure 1
+    trace) landing on the same worker generate the trace once.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = _WORKER_RUNNERS.get(task.instructions)
+    if runner is None:
+        runner = ExperimentRunner(instructions=task.instructions)
+        _WORKER_RUNNERS[task.instructions] = runner
+    return runner.run(task.name, task.improvements, task.config)
+
+
+def _guarded(task_fn: Callable[[Any], Any], task: Any) -> Tuple[str, Any]:
+    """Run ``task_fn`` capturing any exception as a value.
+
+    Exceptions must not cross the process boundary raw: an unpicklable
+    exception would poison the pool, and a raised one would abort the
+    whole batch instead of surfacing as a per-trace error.
+    """
+    try:
+        return ("ok", task_fn(task))
+    except Exception:
+        return ("error", traceback.format_exc())
+
+
+def run_tasks(
+    tasks: Sequence[Any],
+    jobs: Optional[int] = None,
+    retries: int = 1,
+    task_fn: Callable[[Any], Any] = execute_task,
+) -> List[Any]:
+    """Execute ``tasks`` across ``jobs`` processes; results in task order.
+
+    ``jobs=None`` uses every core; ``jobs<=1`` runs inline (no pool, same
+    retry semantics).  Each task failing ``1 + retries`` times raises
+    :class:`TaskFailure` carrying every failed task and its worker
+    traceback — after all surviving tasks have completed.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    results: Dict[int, Any] = {}
+    failures: List[Tuple[Any, str]] = []
+
+    if jobs <= 1 or len(tasks) <= 1:
+        for index, task in enumerate(tasks):
+            for attempt in range(1 + retries):
+                status, value = _guarded(task_fn, task)
+                if status == "ok":
+                    results[index] = value
+                    break
+            if status == "error":
+                failures.append((task, value))
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks))
+        ) as pool:
+            attempts = {index: 1 + retries for index in range(len(tasks))}
+            pending = {
+                pool.submit(_guarded, task_fn, task): index
+                for index, task in enumerate(tasks)
+            }
+            while pending:
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    index = pending.pop(future)
+                    status, value = future.result()
+                    if status == "ok":
+                        results[index] = value
+                        continue
+                    attempts[index] -= 1
+                    if attempts[index] > 0:
+                        retry = pool.submit(_guarded, task_fn, tasks[index])
+                        pending[retry] = index
+                    else:
+                        failures.append((tasks[index], value))
+
+    if failures:
+        raise TaskFailure(failures)
+    return [results[index] for index in range(len(tasks))]

@@ -1,10 +1,19 @@
-"""Convert-and-simulate driver with memoisation.
+"""Convert-and-simulate driver with memoisation and parallel fan-out.
 
 Every experiment reduces to: generate a synthetic CVP-1 trace, convert it
 with some improvement set, simulate the conversion under some simulator
 configuration, and read statistics.  :class:`ExperimentRunner` memoises
 each stage so that e.g. Figure 1's ten configurations share one
 generation per trace, and Figures 2-5 reuse Figure 1's runs outright.
+
+Two layers extend the in-process memo:
+
+- an optional :class:`~repro.experiments.cache.ResultCache` persists
+  results on disk, so repeated CLI/benchmark invocations replay warm
+  sweeps without simulating;
+- :meth:`ExperimentRunner.run_many` / :meth:`ExperimentRunner.run_batch`
+  fan the cache misses of a whole sweep out across worker processes
+  (``jobs``), with results returned in deterministic request order.
 """
 
 from __future__ import annotations
@@ -22,6 +31,9 @@ from repro.sim.simulator import Simulator
 from repro.sim.stats import SimStats
 from repro.synth.generator import make_trace
 from repro.synth.suite import IPC1_TO_CVP1, cvp1_public_trace_names, ipc1_trace_names
+
+#: A (trace, improvements, config) request, as accepted by ``run_batch``.
+RunSpec = Tuple[str, Improvement, Optional[SimConfig]]
 
 
 @dataclass
@@ -52,6 +64,10 @@ class ExperimentRunner:
         stride: Sample every stride-th trace of a suite — benchmarks use
             this to keep runtime bounded while preserving the suite's
             category diversity.
+        cache: Optional on-disk :class:`ResultCache`; hits skip the whole
+            convert+simulate pipeline across process boundaries.
+        jobs: Default worker count for :meth:`run_many`/:meth:`run_batch`
+            (1 = serial; individual calls can override).
     """
 
     def __init__(
@@ -59,13 +75,24 @@ class ExperimentRunner:
         instructions: int = 12_000,
         limit: Optional[int] = None,
         stride: int = 1,
+        cache: Optional["ResultCache"] = None,
+        jobs: int = 1,
     ):
         self.instructions = instructions
         self.limit = limit
         self.stride = stride
+        self.cache = cache
+        self.jobs = jobs
+        #: Convert+simulate executions actually performed by this process
+        #: (cache/memo hits do not count) — the warm-sweep assertions key
+        #: off this staying at zero.
+        self.simulations = 0
         self._traces: Dict[str, List[CvpRecord]] = {}
         self._characterizations: Dict[str, TraceCharacterization] = {}
-        self._runs: Dict[Tuple[str, Improvement, str, str], RunResult] = {}
+        #: Memo keyed by the *full* config identity (the frozen SimConfig
+        #: itself), not just (config.name, l1i_prefetcher): two configs
+        #: sharing a name but differing in any field must not alias.
+        self._runs: Dict[Tuple[str, Improvement, SimConfig], RunResult] = {}
 
     # ------------------------------------------------------------------
     # suites
@@ -102,29 +129,148 @@ class ExperimentRunner:
             self._characterizations[name] = characterize(self.trace(name))
         return self._characterizations[name]
 
-    def run(
-        self,
-        name: str,
-        improvements: Improvement,
-        config: Optional[SimConfig] = None,
+    def _cache_key(self, name: str, improvements: Improvement, config: SimConfig) -> str:
+        from repro.experiments.cache import run_key
+
+        return run_key(name, improvements, config, self.instructions)
+
+    def _execute(
+        self, name: str, improvements: Improvement, config: SimConfig
     ) -> RunResult:
-        """Convert + simulate (memoised by trace/improvements/config)."""
-        config = config or SimConfig.main()
-        key = (name, improvements, config.name, config.l1i_prefetcher)
-        if key in self._runs:
-            return self._runs[key]
+        """Convert + simulate, unconditionally (no memo, no cache)."""
         converter = Converter(improvements)
         instrs = list(converter.convert(self.trace(name)))
         stats = Simulator(config).run(instrs, converter.required_branch_rules)
-        result = RunResult(
+        self.simulations += 1
+        return RunResult(
             trace=name,
             improvements=improvements,
             config_name=config.name,
             stats=stats,
             conversion=converter.stats,
         )
+
+    def run(
+        self,
+        name: str,
+        improvements: Improvement,
+        config: Optional[SimConfig] = None,
+    ) -> RunResult:
+        """Convert + simulate (memoised; disk-cached when a cache is set)."""
+        config = config or SimConfig.main()
+        key = (name, improvements, config)
+        if key in self._runs:
+            return self._runs[key]
+        result = None
+        if self.cache is not None:
+            result = self.cache.load(self._cache_key(name, improvements, config))
+        if result is None:
+            result = self._execute(name, improvements, config)
+            if self.cache is not None:
+                self.cache.store(
+                    self._cache_key(name, improvements, config), result
+                )
         self._runs[key] = result
         return result
+
+    def run_many(
+        self,
+        names: Sequence[str],
+        improvements: Improvement,
+        config: Optional[SimConfig] = None,
+        jobs: Optional[int] = None,
+    ) -> List[RunResult]:
+        """One improvement/config across many traces, fanned out.
+
+        Results come back in ``names`` order and are bit-identical to the
+        serial ``[self.run(n, improvements, config) for n in names]``
+        (asserted by the differential tests).
+        """
+        return self.run_batch(
+            [(name, improvements, config) for name in names], jobs=jobs
+        )
+
+    def sweep(
+        self,
+        names: Sequence[str],
+        improvement_sets: Sequence[Improvement],
+        config: Optional[SimConfig] = None,
+        jobs: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Cross product of traces x improvement sets as one fan-out."""
+        return self.run_batch(
+            [
+                (name, improvements, config)
+                for improvements in improvement_sets
+                for name in names
+            ],
+            jobs=jobs,
+        )
+
+    def run_batch(
+        self,
+        specs: Sequence[RunSpec],
+        jobs: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Run arbitrary (trace, improvements, config) specs in one pool.
+
+        Memo and disk-cache hits are resolved up front; only the misses
+        (deduplicated) are dispatched to worker processes.  With
+        ``jobs<=1`` the misses run inline through :meth:`run`, so serial
+        and parallel share one code path per result.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        resolved: Dict[int, RunResult] = {}
+        pending: Dict[Tuple[str, Improvement, SimConfig], List[int]] = {}
+        for index, (name, improvements, config) in enumerate(specs):
+            config = config or SimConfig.main()
+            key = (name, improvements, config)
+            if key in self._runs:
+                resolved[index] = self._runs[key]
+                continue
+            if key in pending:
+                pending[key].append(index)
+                continue
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.load(self._cache_key(name, improvements, config))
+            if cached is not None:
+                self._runs[key] = cached
+                resolved[index] = cached
+            else:
+                pending[key] = [index]
+
+        if pending:
+            keys = list(pending)
+            if jobs is not None and jobs <= 1:
+                results = [self.run(*key) for key in keys]
+            else:
+                from repro.experiments.parallel import RunTask, run_tasks
+
+                tasks = [
+                    RunTask(
+                        name=name,
+                        improvements=improvements,
+                        config=config,
+                        instructions=self.instructions,
+                    )
+                    for name, improvements, config in keys
+                ]
+                results = run_tasks(tasks, jobs=jobs)
+                # Worker-side executions count as this runner's
+                # simulations: the counter means "simulations performed
+                # on behalf of this runner", so a warm-cache sweep is 0
+                # regardless of jobs.
+                self.simulations += len(results)
+                for key, result in zip(keys, results):
+                    self._runs[key] = result
+                    if self.cache is not None:
+                        self.cache.store(self._cache_key(*key), result)
+            for key, result in zip(keys, results):
+                for index in pending[key]:
+                    resolved[index] = result
+
+        return [resolved[index] for index in range(len(specs))]
 
     # ------------------------------------------------------------------
     # derived helpers
@@ -160,5 +306,7 @@ class ExperimentRunner:
         """One-line description of the runner's sampling parameters."""
         return (
             f"instructions={self.instructions} stride={self.stride} "
-            f"limit={self.limit if self.limit is not None else 'all'}"
+            f"limit={self.limit if self.limit is not None else 'all'} "
+            f"jobs={self.jobs if self.jobs is not None else 'all'} "
+            f"cache={'on' if self.cache is not None else 'off'}"
         )

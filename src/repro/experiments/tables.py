@@ -117,8 +117,10 @@ class Table2Row:
 
 def table2(runner: ExperimentRunner) -> List[Table2Row]:
     """Table 2: IPC-1 trace mapping + characterisation (All_imps, main)."""
+    names = runner.ipc1_trace_names()
+    runner.sweep(names, [Improvement.ALL, Improvement.NONE])
     rows: List[Table2Row] = []
-    for name in runner.ipc1_trace_names():
+    for name in names:
         improved = runner.run(name, Improvement.ALL).stats
         original = runner.run(name, Improvement.NONE).stats
         rows.append(
@@ -173,6 +175,16 @@ def _ranking(
     runner: ExperimentRunner, improvements: Improvement
 ) -> List[Table3Entry]:
     names = runner.ipc1_trace_names()
+    # The whole ranking (baseline + eight prefetcher configs) as one
+    # fan-out; the per-config loops below then read memoised results.
+    runner.run_batch(
+        [
+            (name, improvements, config)
+            for config in [SimConfig.ipc1()]
+            + [SimConfig.ipc1(l1i_prefetcher=p) for p in IPC1_PREFETCHERS]
+            for name in names
+        ]
+    )
     baseline: Dict[str, float] = {}
     for name in names:
         baseline[name] = runner.run(

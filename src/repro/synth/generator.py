@@ -49,6 +49,11 @@ from repro.synth.program import (
     build_program,
 )
 
+#: Bump whenever generated traces change for a given (name, instructions,
+#: seed) — cached conversion/simulation results are keyed on it, so stale
+#: on-disk entries invalidate themselves (see repro.experiments.cache).
+GENERATOR_VERSION = 1
+
 #: Register used to stage computed effective addresses.
 ADDRESS_REG = 28
 

@@ -1,0 +1,90 @@
+"""Regenerate the golden conversion fixtures.
+
+Run from the repository root after an *intentional* converter or trace
+format change::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Writes, for each fixture trace, a tiny checked-in CVP-1 input
+(``<name>.cvp.gz``) and, into ``expected.json``, the SHA-256 of the
+*uncompressed* ChampSim output byte stream plus the full conversion
+statistics for each pinned improvement set.  ``test_golden_conversion.py``
+replays the conversion from the checked-in inputs and diffs against this
+file, so any semantic drift in the converter — including via the parallel
+suite path — fails loudly.
+
+Do NOT regenerate to make a failing test pass unless the output change is
+the point of your patch; the diff of ``expected.json`` is then part of
+the review surface.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from pathlib import Path
+
+from repro.champsim.trace import encode_instr
+from repro.core.convert import Converter
+from repro.core.improvements import IMPROVEMENT_NAMES, improvement_name
+from repro.cvp.reader import CvpTraceReader
+from repro.cvp.writer import write_trace
+from repro.experiments.cache import conversion_stats_to_dict
+from repro.synth.generator import GENERATOR_VERSION, make_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: (trace name, instruction count): tiny but behaviourally diverse —
+#: srv_3 carries the BLR-X30 call-stack bug material, compute_int_23 is a
+#: paper-called-out integer trace, crypto_1 exercises the crypto profile.
+FIXTURE_TRACES = (
+    ("srv_3", 400),
+    ("compute_int_23", 400),
+    ("crypto_1", 300),
+)
+
+#: Improvement sets pinned by the golden layer (original, all-fixes, and
+#: the branch-only set whose PATCHED rules changed the deduction story).
+FIXTURE_IMPROVEMENTS = ("No_imp", "All_imps", "Branch_imps")
+
+
+def output_digest_and_stats(cvp_path: Path, improvements):
+    """Convert ``cvp_path`` in memory; digest the raw output records."""
+    converter = Converter(improvements)
+    digest = hashlib.sha256()
+    count = 0
+    with CvpTraceReader(cvp_path) as reader:
+        for instr in converter.convert(reader):
+            digest.update(encode_instr(instr))
+            count += 1
+    return {
+        "output_sha256": digest.hexdigest(),
+        "instructions_out": count,
+        "branch_rules": converter.required_branch_rules.value,
+        "stats": conversion_stats_to_dict(converter.stats),
+    }
+
+
+def main() -> None:
+    expected = {"generator_version": GENERATOR_VERSION, "traces": {}}
+    for name, instructions in FIXTURE_TRACES:
+        cvp_path = GOLDEN_DIR / f"{name}.cvp.gz"
+        records = make_trace(name, instructions)
+        # mtime=0 keeps the .gz byte-stable across regenerations.
+        with gzip.GzipFile(cvp_path, "wb", mtime=0) as stream:
+            write_trace(records, stream)
+        entry = {"instructions": instructions, "conversions": {}}
+        for label in FIXTURE_IMPROVEMENTS:
+            entry["conversions"][label] = output_digest_and_stats(
+                cvp_path, IMPROVEMENT_NAMES[label]
+            )
+        expected["traces"][name] = entry
+        print(f"{name}: {instructions} records -> {cvp_path.name}")
+    out = GOLDEN_DIR / "expected.json"
+    out.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -158,6 +158,6 @@ def test_fixed_trace_improvements_exclude_mem_footprint():
 def test_cli_runs_fig1(capsys):
     from repro.experiments.cli import main
 
-    rc = main(["fig1", "--stride", "45", "--instructions", "1500"])
+    rc = main(["fig1", "--stride", "45", "--instructions", "1500", "--no-cache"])
     assert rc == 0
     assert "Figure 1" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Golden-trace regression tests for the converter.
+
+``tests/golden/`` checks in tiny synthesized CVP-1 inputs together with
+the SHA-256 of their expected (uncompressed) ChampSim output streams and
+the full conversion statistics, for three pinned improvement sets.  Any
+converter refactor — including routing through the parallel suite path —
+that silently changes output bytes or stats fails here, byte for byte.
+
+To update after an *intentional* semantic change::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.champsim.trace import encode_instr, read_champsim_trace
+from repro.core.convert import Converter
+from repro.core.improvements import IMPROVEMENT_NAMES
+from repro.core.pipeline import convert_file
+from repro.cvp.reader import CvpTraceReader
+from repro.experiments.cache import conversion_stats_to_dict
+from repro.synth.generator import GENERATOR_VERSION, make_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+EXPECTED = json.loads((GOLDEN_DIR / "expected.json").read_text())
+
+_CASES = [
+    (trace, label)
+    for trace, entry in sorted(EXPECTED["traces"].items())
+    for label in sorted(entry["conversions"])
+]
+
+
+def _stream_digest_and_stats(cvp_path, improvements):
+    converter = Converter(improvements)
+    digest = hashlib.sha256()
+    count = 0
+    with CvpTraceReader(cvp_path) as reader:
+        for instr in converter.convert(reader):
+            digest.update(encode_instr(instr))
+            count += 1
+    return digest.hexdigest(), count, converter
+
+
+def test_generator_version_matches_fixtures():
+    """Fixtures were generated at this GENERATOR_VERSION.
+
+    If this fails you bumped the generator without regenerating the
+    golden inputs (or vice versa) — rerun ``tests/golden/regen.py``.
+    """
+    assert EXPECTED["generator_version"] == GENERATOR_VERSION
+
+
+@pytest.mark.parametrize("trace,label", _CASES)
+def test_conversion_output_digest_is_pinned(trace, label):
+    expected = EXPECTED["traces"][trace]["conversions"][label]
+    digest, count, converter = _stream_digest_and_stats(
+        GOLDEN_DIR / f"{trace}.cvp.gz", IMPROVEMENT_NAMES[label]
+    )
+    assert digest == expected["output_sha256"], (
+        f"{trace}/{label}: converter output drifted from the golden "
+        f"digest — if intentional, rerun tests/golden/regen.py"
+    )
+    assert count == expected["instructions_out"]
+    assert converter.required_branch_rules.value == expected["branch_rules"]
+
+
+@pytest.mark.parametrize("trace,label", _CASES)
+def test_conversion_stats_are_pinned(trace, label):
+    expected = EXPECTED["traces"][trace]["conversions"][label]
+    _, _, converter = _stream_digest_and_stats(
+        GOLDEN_DIR / f"{trace}.cvp.gz", IMPROVEMENT_NAMES[label]
+    )
+    assert conversion_stats_to_dict(converter.stats) == expected["stats"]
+
+
+@pytest.mark.parametrize("trace", sorted(EXPECTED["traces"]))
+def test_file_conversion_path_matches_stream_digest(trace, tmp_path):
+    """convert_file (the suite/parallel path) emits the same bytes."""
+    expected = EXPECTED["traces"][trace]["conversions"]["All_imps"]
+    out = tmp_path / f"{trace}.champsimtrace"
+    convert_file(
+        GOLDEN_DIR / f"{trace}.cvp.gz", out, IMPROVEMENT_NAMES["All_imps"]
+    )
+    digest = hashlib.sha256()
+    for instr in read_champsim_trace(out):
+        digest.update(encode_instr(instr))
+    assert digest.hexdigest() == expected["output_sha256"]
+
+
+@pytest.mark.parametrize("trace", sorted(EXPECTED["traces"]))
+def test_generator_reproduces_fixture_inputs(trace):
+    """make_trace still regenerates the checked-in CVP records exactly.
+
+    This separates converter drift from generator drift: if this fails,
+    the *generator* changed (bump GENERATOR_VERSION and regenerate); if
+    only the digest tests fail, the *converter* changed.
+    """
+    from repro.cvp.reader import read_trace
+
+    instructions = EXPECTED["traces"][trace]["instructions"]
+    assert (
+        make_trace(trace, instructions)
+        == read_trace(GOLDEN_DIR / f"{trace}.cvp.gz")
+    )
