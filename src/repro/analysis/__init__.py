@@ -1,0 +1,43 @@
+"""Trace-lint: rule-based static analysis of CVP-1/ChampSim conversion.
+
+The public surface is small: a rule registry (:mod:`repro.analysis.rules`),
+the streaming engine (:class:`TraceLinter`), and JSON/text reporters used
+by the ``repro-lint`` CLI and the converter's ``--lint`` mode.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import (
+    LintReport,
+    LintSummary,
+    RuleContext,
+    TraceLinter,
+    lint_trace_name,
+    resolve_branch_rules,
+    rule_catalog,
+)
+from repro.analysis.rules import (
+    ConversionRule,
+    InputRule,
+    Rule,
+    all_rule_classes,
+    register,
+    resolve_rules,
+)
+
+__all__ = [
+    "ConversionRule",
+    "Diagnostic",
+    "InputRule",
+    "LintReport",
+    "LintSummary",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "TraceLinter",
+    "all_rule_classes",
+    "lint_trace_name",
+    "register",
+    "resolve_branch_rules",
+    "resolve_rules",
+    "rule_catalog",
+]

@@ -1,0 +1,82 @@
+"""Baseline files: suppress known findings, surface only new ones.
+
+A baseline is a JSON file of diagnostic fingerprints
+(:meth:`~repro.analysis.diagnostics.Diagnostic.fingerprint`).  Linting
+with ``--baseline`` drops findings whose fingerprint is recorded —
+the standard adoption path for a linter over a corpus with pre-existing
+findings: freeze today's findings, gate on anything new.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple, Union
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintReport
+
+BASELINE_SCHEMA = 1
+
+
+def write_baseline(
+    path: Union[str, Path], reports: Iterable[LintReport]
+) -> int:
+    """Record every diagnostic of ``reports``; returns the entry count.
+
+    Entries carry the human-readable rendering next to the fingerprint so
+    baseline diffs are reviewable.
+    """
+    entries = {}
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            entries[diagnostic.fingerprint()] = diagnostic.render()
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": {
+            fingerprint: entries[fingerprint]
+            for fingerprint in sorted(entries)
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """The set of suppressed fingerprints in a baseline file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {payload.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA}"
+        )
+    return set(payload["findings"])
+
+
+def apply_baseline(
+    diagnostics: Iterable[Diagnostic], baseline: Set[str]
+) -> Tuple[List[Diagnostic], int]:
+    """Split diagnostics into (kept, suppressed-count)."""
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in diagnostics:
+        if diagnostic.fingerprint() in baseline:
+            suppressed += 1
+        else:
+            kept.append(diagnostic)
+    return kept, suppressed
+
+
+def suppress_report(report: LintReport, baseline: Set[str]) -> LintReport:
+    """A copy of ``report`` with baselined findings suppressed."""
+    kept, suppressed = apply_baseline(report.diagnostics, baseline)
+    return LintReport(
+        trace=report.trace,
+        improvements=report.improvements,
+        branch_rules=report.branch_rules,
+        records=report.records,
+        diagnostics=kept,
+        rule_ids=report.rule_ids,
+        from_cache=report.from_cache,
+        suppressed=report.suppressed + suppressed,
+    )

@@ -1,0 +1,149 @@
+"""Content-addressed cache for lint results (keeps the CI gate fast).
+
+Linting is a pure function of the trace bytes, the improvement set, the
+ChampSim branch-rule choice, and the selected rules — so reports are
+cached under the SHA-256 of exactly those inputs, reusing the layout and
+atomic-write machinery of :mod:`repro.experiments.cache`::
+
+    <cache_dir>/lint/<key[:2]>/<key>.json
+
+``LINT_SCHEMA`` folds the diagnostic payload layout into the key-checked
+schema field; bumping it (or changing any rule's behaviour enough to
+matter) is handled by including :data:`LINT_RULESET_VERSION` in the key,
+so stale entries are simply never read again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintReport
+from repro.champsim.branch_info import BranchRules
+from repro.core.improvements import Improvement
+from repro.experiments.cache import (
+    _atomic_write_json,
+    default_cache_dir,
+    file_digest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.engine import TraceLinter
+
+#: Bump on any change to the serialised report payload.
+LINT_SCHEMA = 1
+
+#: Bump whenever any rule's behaviour changes (new rules, changed checks,
+#: changed messages) — cached reports from older rule sets must miss.
+LINT_RULESET_VERSION = 1
+
+
+def lint_key(
+    source_digest: str,
+    improvements: Improvement,
+    branch_rules: BranchRules,
+    rule_ids: Sequence[str],
+) -> str:
+    """Content hash identifying one lint run."""
+    payload = {
+        "schema": LINT_SCHEMA,
+        "ruleset": LINT_RULESET_VERSION,
+        "source": source_digest,
+        "improvements": improvements.value,
+        "branch_rules": branch_rules.value,
+        "rules": sorted(rule_ids),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def report_to_dict(report: LintReport) -> dict:
+    """JSON-safe payload for one :class:`LintReport`."""
+    return {
+        "trace": report.trace,
+        "improvements": report.improvements.value,
+        "branch_rules": report.branch_rules.value,
+        "records": report.records,
+        "rule_ids": list(report.rule_ids),
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+    }
+
+
+def report_from_dict(payload: dict, from_cache: bool = False) -> LintReport:
+    return LintReport(
+        trace=payload["trace"],
+        improvements=Improvement(payload["improvements"]),
+        branch_rules=BranchRules(payload["branch_rules"]),
+        records=payload["records"],
+        diagnostics=[
+            Diagnostic.from_dict(entry) for entry in payload["diagnostics"]
+        ],
+        rule_ids=tuple(payload["rule_ids"]),
+        from_cache=from_cache,
+    )
+
+
+class LintCache:
+    """On-disk store of lint reports, keyed by :func:`lint_key`."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / "lint" / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[LintReport]:
+        """The cached report for ``key``, or None (counted as hit/miss)."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+            if payload.get("schema") != LINT_SCHEMA:
+                raise ValueError("schema mismatch")
+            report = report_from_dict(payload["report"], from_cache=True)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def store(self, key: str, report: LintReport) -> None:
+        payload = {"schema": LINT_SCHEMA, "report": report_to_dict(report)}
+        try:
+            _atomic_write_json(self._path(key), payload)
+        except OSError:
+            return
+        self.stores += 1
+
+    def describe(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} stores={self.stores} "
+            f"dir={self.root}"
+        )
+
+
+def lint_file_cached(
+    linter: "TraceLinter",
+    path: Union[str, Path],
+    cache: Optional[LintCache],
+    trace: Optional[str] = None,
+) -> LintReport:
+    """Lint ``path`` through ``cache`` (straight lint when ``cache=None``)."""
+    if cache is None:
+        return linter.lint_file(path, trace=trace)
+    key = lint_key(
+        file_digest(path),
+        linter.improvements,
+        linter.branch_rules,
+        linter.rule_ids,
+    )
+    cached = cache.load(key)
+    if cached is not None:
+        return cached
+    report = linter.lint_file(path, trace=trace)
+    cache.store(key, report)
+    return report

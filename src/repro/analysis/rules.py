@@ -1,0 +1,142 @@
+"""Rule base classes, the rule registry, and ``--select/--ignore`` logic.
+
+Every trace-lint rule is a small class with a stable ID (``TL0xx`` for
+input rules over raw CVP-1 records, ``TL1xx`` for conversion rules over
+(CVP-1, ChampSim) record pairs, ``TL2xx`` for ChampSim branch-type
+deduction rules), a default :class:`~repro.analysis.diagnostics.Severity`,
+and the paper section that motivates it.  Rules self-register on import
+via the :func:`register` decorator; :func:`resolve_rules` implements the
+ruff-style prefix selection used by the CLI (``--select TL1`` keeps every
+conversion rule).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.cvp.record import CvpRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.engine import RuleContext
+    from repro.champsim.trace import ChampSimInstr
+
+
+class Rule(abc.ABC):
+    """Common shape of every trace-lint rule."""
+
+    #: Stable identifier (``TL001``...), unique across the registry.
+    rule_id: str = ""
+    #: Default severity of this rule's diagnostics.
+    severity: Severity = Severity.ERROR
+    #: One-line summary for ``--list-rules`` and the docs catalog.
+    title: str = ""
+    #: Paper section the rule operationalises (e.g. ``"3.1.1"``).
+    paper_section: str = ""
+
+    def diag(
+        self,
+        ctx: "RuleContext",
+        record: CvpRecord,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        """Build a diagnostic at ``record``'s location in ``ctx``'s trace."""
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            trace=ctx.trace,
+            index=ctx.index,
+            pc=record.pc,
+            message=message,
+        )
+
+
+class InputRule(Rule):
+    """A rule over raw CVP-1 records (ISA/trace well-formedness)."""
+
+    @abc.abstractmethod
+    def check(
+        self, record: CvpRecord, ctx: "RuleContext"
+    ) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one input record."""
+
+
+class ConversionRule(Rule):
+    """A rule over one CVP-1 record and its converted instruction(s).
+
+    The engine streams the pair in lockstep through the converter: the
+    rule sees the input record, every ChampSim instruction the converter
+    emitted for it (base-update splitting may emit two), and the
+    pre-execution register file via the context.
+    """
+
+    @abc.abstractmethod
+    def check(
+        self,
+        record: CvpRecord,
+        instrs: Sequence["ChampSimInstr"],
+        ctx: "RuleContext",
+    ) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one (record, converted instrs) pair."""
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule class to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule id {cls.rule_id!r}: "
+            f"{existing.__name__} and {cls.__name__}"
+        )
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the rule modules so their ``@register`` decorators run."""
+    from repro.analysis import conversion_rules, input_rules  # noqa: F401
+
+
+def all_rule_classes() -> List[Type[Rule]]:
+    """Every registered rule class, ordered by rule ID."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def _matches(rule_id: str, patterns: Sequence[str]) -> bool:
+    """Ruff-style prefix match: ``TL1`` selects ``TL101``, ``TL102``..."""
+    return any(rule_id.startswith(pattern) for pattern in patterns)
+
+
+def resolve_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the selected rules (all by default, minus ``ignore``).
+
+    ``select`` and ``ignore`` hold exact rule IDs or prefixes.  Unknown
+    patterns (matching no registered rule) raise ``ValueError`` so typos
+    fail loudly instead of silently linting nothing.
+    """
+    classes = all_rule_classes()
+    known_ids = [cls.rule_id for cls in classes]
+    for pattern in list(select or []) + list(ignore or []):
+        if not any(rule_id.startswith(pattern) for rule_id in known_ids):
+            raise ValueError(
+                f"unknown rule or prefix {pattern!r}; known: "
+                + ", ".join(known_ids)
+            )
+    chosen = [
+        cls
+        for cls in classes
+        if (not select or _matches(cls.rule_id, select))
+        and not (ignore and _matches(cls.rule_id, ignore))
+    ]
+    return [cls() for cls in chosen]

@@ -24,7 +24,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.core.improvements import IMPROVEMENT_NAMES, parse_improvements
-from repro.core.pipeline import convert_file, convert_suite
+from repro.core.pipeline import ConversionResult, convert_file, convert_suite
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "-v", "--verbose", action="store_true", help="print conversion stats"
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "after converting, lint the source trace under the same "
+            "improvement set (trace-lint rules; errors make the exit "
+            "status non-zero)"
+        ),
     )
     suite = parser.add_argument_group("suite mode")
     suite.add_argument(
@@ -85,8 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _lint_results(results: Sequence[ConversionResult]) -> int:
+    """Lint each conversion's source trace; 0 unless any lint error."""
+    from repro.analysis.engine import LintSummary
+    from repro.analysis.reporters import render_text
+    from repro.core.pipeline import lint_result
+
+    reports = [lint_result(result) for result in results]
+    print(render_text(reports))
+    exit_code = LintSummary(reports=reports).exit_code()
+    return exit_code if exit_code >= 2 else 0
+
+
 def _main_suite(args: argparse.Namespace, improvements) -> int:
     from repro.experiments.cache import ConversionCache
+    from repro.experiments.parallel import TaskFailure
 
     if not args.output_dir:
         print("repro-convert: --suite requires --output-dir", file=sys.stderr)
@@ -94,16 +116,20 @@ def _main_suite(args: argparse.Namespace, improvements) -> int:
     cache = None if args.no_cache else ConversionCache(args.output_dir)
     jobs = None if args.jobs == 0 else args.jobs
     start = time.time()
-    results = convert_suite(
-        args.suite,
-        args.output_dir,
-        improvements,
-        instructions=args.instructions,
-        limit=args.limit,
-        stride=args.stride,
-        jobs=jobs,
-        cache=cache,
-    )
+    try:
+        results = convert_suite(
+            args.suite,
+            args.output_dir,
+            improvements,
+            instructions=args.instructions,
+            limit=args.limit,
+            stride=args.stride,
+            jobs=jobs,
+            cache=cache,
+        )
+    except TaskFailure as exc:
+        print(f"repro-convert: {exc}", file=sys.stderr)
+        return 1
     for result in results:
         stats = result.stats
         print(
@@ -115,6 +141,8 @@ def _main_suite(args: argparse.Namespace, improvements) -> int:
     print(f"[converted {len(results)} traces in {elapsed:.1f}s jobs={args.jobs}]")
     if cache is not None:
         print(f"[cache {cache.describe()}]")
+    if args.lint:
+        return _lint_results(results)
     return 0
 
 
@@ -145,6 +173,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"two-line accesses: {stats.two_line_accesses}")
         print(f"flag dsts added:   {stats.flag_dsts_added}")
         print(f"branch rules:      {result.branch_rules.value}")
+    if args.lint:
+        return _lint_results([result])
     return 0
 
 

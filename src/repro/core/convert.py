@@ -46,7 +46,6 @@ from repro.cvp.addrmode import (
     cachelines_touched,
     infer_addressing,
     is_dc_zva,
-    total_access_size,
 )
 from repro.cvp.isa import (
     CACHELINE_SIZE,
@@ -142,7 +141,7 @@ class Converter:
     :attr:`stats` across calls.
     """
 
-    def __init__(self, improvements: Improvement = Improvement.NONE):
+    def __init__(self, improvements: Improvement = Improvement.NONE) -> None:
         self.improvements = improvements
         self.stats = ConversionStats()
 

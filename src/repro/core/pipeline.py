@@ -13,13 +13,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.champsim.branch_info import BranchRules
 from repro.champsim.trace import ChampSimTraceWriter
 from repro.core.convert import ConversionStats, Converter
 from repro.core.improvements import Improvement
 from repro.cvp.reader import CvpTraceReader
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.cache import LintCache
+    from repro.analysis.engine import LintReport
+    from repro.experiments.cache import ConversionCache
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,26 @@ def convert_file(
         branch_rules=converter.required_branch_rules,
         stats=converter.stats,
     )
+
+
+def lint_result(
+    result: ConversionResult,
+    cache: Optional["LintCache"] = None,
+) -> "LintReport":
+    """Lint a finished conversion's *source* trace under its improvements.
+
+    Replays the source through :class:`~repro.analysis.engine.TraceLinter`
+    configured exactly as the conversion was (improvement set and branch
+    rules), so the report states whether the file just produced preserves
+    the paper's invariants.  Backs the ``repro-convert --lint`` flag.
+    """
+    from repro.analysis.cache import lint_file_cached
+    from repro.analysis.engine import TraceLinter
+
+    linter = TraceLinter(
+        result.improvements, branch_rules=result.branch_rules
+    )
+    return lint_file_cached(linter, result.source, cache)
 
 
 @dataclass(frozen=True)

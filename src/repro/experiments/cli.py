@@ -9,10 +9,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 from typing import Optional, Sequence
 
 from repro.experiments import ablation, figures, report, tables
+from repro.experiments.parallel import TaskFailure
 from repro.experiments.runner import ExperimentRunner
 
 _EXPERIMENTS = ("fig1", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3")
@@ -113,7 +115,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in chosen:
         start = time.time()
         print()
-        print(run_experiment(name, runner))
+        try:
+            print(run_experiment(name, runner))
+        except TaskFailure as exc:
+            print(f"repro-experiment: {name}: {exc}", file=sys.stderr)
+            return 1
         print(f"[{name} took {time.time() - start:.1f}s]")
     print()
     print(f"[simulations={runner.simulations}]")

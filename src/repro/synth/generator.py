@@ -454,8 +454,11 @@ class TraceGenerator:
             # register: target computation chains among call setups, so a
             # mispredicted indirect call resolves quickly — its cost is
             # the misprediction itself, not an unrelated load.
-            stage_src = TARGET_REGS[(TARGET_REGS.index(term.test_reg) + 1) % 2] \
-                if term.test_reg in TARGET_REGS else TARGET_REGS[0]
+            stage_src = (
+                TARGET_REGS[(TARGET_REGS.index(term.test_reg) + 1) % 2]
+                if term.test_reg in TARGET_REGS
+                else TARGET_REGS[0]
+            )
             if term.form == "indirect_x30":
                 # Stage the function pointer in X30 itself, producing the
                 # BLR X30 pattern the original converter misclassifies.

@@ -27,7 +27,7 @@ from pathlib import Path
 
 from repro.champsim.trace import encode_instr
 from repro.core.convert import Converter
-from repro.core.improvements import IMPROVEMENT_NAMES, improvement_name
+from repro.core.improvements import IMPROVEMENT_NAMES
 from repro.cvp.reader import CvpTraceReader
 from repro.cvp.writer import write_trace
 from repro.experiments.cache import conversion_stats_to_dict
@@ -37,11 +37,14 @@ GOLDEN_DIR = Path(__file__).resolve().parent
 
 #: (trace name, instruction count): tiny but behaviourally diverse —
 #: srv_3 carries the BLR-X30 call-stack bug material, compute_int_23 is a
-#: paper-called-out integer trace, crypto_1 exercises the crypto profile.
+#: paper-called-out integer trace, crypto_1 exercises the crypto profile,
+#: and srv_24 at 700 records contains cacheline-crossing accesses and a
+#: DC ZVA (the mem-footprint improvement's material, Section 3.1.3).
 FIXTURE_TRACES = (
     ("srv_3", 400),
     ("compute_int_23", 400),
     ("crypto_1", 300),
+    ("srv_24", 700),
 )
 
 #: Improvement sets pinned by the golden layer (original, all-fixes, and

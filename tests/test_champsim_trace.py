@@ -8,8 +8,6 @@ from hypothesis import strategies as st
 
 from repro.champsim.trace import (
     ChampSimInstr,
-    ChampSimTraceReader,
-    ChampSimTraceWriter,
     RECORD_SIZE,
     decode_instr,
     encode_instr,

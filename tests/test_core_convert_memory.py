@@ -1,9 +1,8 @@
 """Converter tests for memory handling (paper Section 3.1)."""
 
-from repro.champsim.regs import REG_FLAGS, REG_FORGED_X0, champsim_reg
+from repro.champsim.regs import REG_FORGED_X0, champsim_reg
 from repro.core.convert import Converter, convert_trace
 from repro.core.improvements import Improvement
-from repro.cvp.isa import InstClass
 
 from tests.conftest import alu, load, store
 

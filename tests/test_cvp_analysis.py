@@ -1,7 +1,7 @@
 """Trace characterisation tests."""
 
 from repro.cvp.analysis import characterize
-from repro.cvp.isa import InstClass, LINK_REGISTER
+from repro.cvp.isa import InstClass
 
 from tests.conftest import alu, blr_x30, branch, load, ret, store
 

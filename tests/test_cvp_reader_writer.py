@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.cvp.reader import CvpTraceReader, RegisterFile, read_trace
 from repro.cvp.writer import CvpTraceWriter, write_trace

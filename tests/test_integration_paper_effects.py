@@ -7,7 +7,7 @@ effects concentrate) — not absolute numbers.
 
 import pytest
 
-from repro.core import Converter, Improvement, convert_trace
+from repro.core import Converter, Improvement
 from repro.sim import SimConfig, Simulator
 from repro.synth import make_trace
 

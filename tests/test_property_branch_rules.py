@@ -8,7 +8,6 @@ conditional class, never out of any other class.
 
 import itertools
 
-import pytest
 
 from repro.champsim.branch_info import BranchRules, BranchType, deduce_branch_type
 from repro.champsim.regs import (

@@ -4,7 +4,6 @@ from repro.champsim.branch_info import BranchRules, BranchType
 from repro.champsim.regs import (
     REG_FLAGS,
     REG_INSTRUCTION_POINTER as IP,
-    REG_STACK_POINTER as SP,
 )
 from repro.champsim.trace import ChampSimInstr
 from repro.sim.decoded import decode_trace

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.sim.branch import TageSCL, Tage, make_direction_predictor
 from repro.sim.branch.tage_scl import LoopPredictor, StatisticalCorrector

@@ -5,7 +5,7 @@ import pytest
 from repro.core import Converter, Improvement
 from repro.cvp.record import CvpRecord
 from repro.synth import make_trace
-from repro.synth.generator import MAX_CALL_DEPTH, TraceGenerator
+from repro.synth.generator import MAX_CALL_DEPTH
 from repro.synth.profiles import CATEGORY_PROFILES, profile_for_trace
 from repro.synth.suite import cvp1_public_suite, ipc1_suite
 

@@ -1,6 +1,5 @@
 """Dynamic trace-generator tests: the invariants the converter relies on."""
 
-import pytest
 
 from repro.cvp.addrmode import infer_addressing
 from repro.cvp.isa import InstClass, LINK_REGISTER

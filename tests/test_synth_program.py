@@ -2,7 +2,6 @@
 
 from repro.synth.profiles import profile_for_trace
 from repro.synth.program import (
-    BODY_SLOT_BYTES,
     CODE_BASE,
     build_program,
 )
