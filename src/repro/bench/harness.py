@@ -1,0 +1,128 @@
+"""Measurement plumbing shared by every ``repro-bench`` phase.
+
+Timing follows the usual microbenchmark discipline: each workload runs
+``repeats`` times and the *minimum* wall time is reported (the min is
+the run least disturbed by the OS; means drift with noise).  Rates are
+``records / best_seconds``.  Peak RSS comes from ``getrusage`` and is a
+process-lifetime high-water mark, so it reflects everything run so far,
+not one phase in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+#: Bumped whenever the BENCH_<phase>.json layout changes shape.
+SCHEMA_VERSION = 1
+
+
+def min_of_k(work: Callable[[], Any], repeats: int) -> float:
+    """Best wall-clock seconds of ``repeats`` runs of ``work()``."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        work()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def peak_rss_kib() -> Optional[int]:
+    """Process peak resident set size in KiB (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if platform.system() == "Darwin":  # pragma: no cover - linux CI
+        usage //= 1024
+    return int(usage)
+
+
+def rate(records: int, seconds: float) -> float:
+    """Records per second, guarded against a zero-duration clock read.
+
+    Returns 0.0 when ``seconds`` is zero: ``inf`` is not representable
+    in strict JSON, and a sub-resolution measurement carries no usable
+    rate anyway.
+    """
+    return records / seconds if seconds > 0 else 0.0
+
+
+def base_payload(phase: str, quick: bool, repeats: int) -> Dict[str, Any]:
+    """Common envelope of every phase report."""
+    return {
+        "phase": phase,
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": {},
+    }
+
+
+def report_path(output_dir: Union[str, Path], phase: str) -> Path:
+    """``BENCH_<phase>.json`` under ``output_dir``."""
+    return Path(output_dir) / f"BENCH_{phase}.json"
+
+
+def write_report(output_dir: Union[str, Path], payload: Dict[str, Any]) -> Path:
+    """Write one phase payload; returns the file written."""
+    payload = dict(payload)
+    payload["peak_rss_kib"] = peak_rss_kib()
+    path = report_path(output_dir, payload["phase"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a previously written ``BENCH_<phase>.json``."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "phase" not in payload:
+        raise ValueError(f"{path}: not a repro-bench report")
+    return payload
+
+
+def compare_payloads(
+    old: Dict[str, Any], new: Dict[str, Any], threshold: float = 2.0
+) -> List[str]:
+    """Regression messages: workloads slower than ``old`` by > ``threshold``.
+
+    Only ``records_per_sec`` rates present in *both* payloads are
+    compared, so reports from different modes (``--quick`` vs full)
+    degrade to comparing their common workloads.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    regressions: List[str] = []
+    old_workloads = old.get("workloads", {})
+    for name, workload in sorted(new.get("workloads", {}).items()):
+        previous = old_workloads.get(name)
+        if previous is None:
+            continue
+        for variant in sorted(set(workload) & set(previous)):
+            entry, before = workload[variant], previous[variant]
+            if not (isinstance(entry, dict) and isinstance(before, dict)):
+                continue
+            now_rate = entry.get("records_per_sec")
+            old_rate = before.get("records_per_sec")
+            if not now_rate or not old_rate:
+                continue
+            if now_rate * threshold < old_rate:
+                regressions.append(
+                    f"{new.get('phase')}/{name}/{variant}: "
+                    f"{now_rate:,.0f} rec/s vs baseline {old_rate:,.0f} "
+                    f"(>{threshold:g}x slowdown)"
+                )
+    return regressions

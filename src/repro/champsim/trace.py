@@ -23,9 +23,16 @@ from __future__ import annotations
 
 import gzip
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TraceFormatError
+
+try:  # numpy is an optional fast path; the stdlib route always works.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the env gate
+    _np = None
 
 #: On-disk size of one record.
 RECORD_SIZE = 64
@@ -38,11 +45,40 @@ MAX_SRC_MEM = 4
 _STRUCT = struct.Struct("<QBB2B4B2Q4Q")
 assert _STRUCT.size == RECORD_SIZE
 
+#: The record layout as a numpy structured dtype (None without numpy).
+#: ``np.frombuffer(data, CHAMPSIM_DTYPE)`` decodes a whole trace in one
+#: call for columnar analysis; the byte layout matches ``_STRUCT``.
+CHAMPSIM_DTYPE = (
+    _np.dtype(
+        [
+            ("ip", "<u8"),
+            ("is_branch", "u1"),
+            ("branch_taken", "u1"),
+            ("dst_regs", "u1", (MAX_DST_REGS,)),
+            ("src_regs", "u1", (MAX_SRC_REGS,)),
+            ("dst_mem", "<u8", (MAX_DST_MEM,)),
+            ("src_mem", "<u8", (MAX_SRC_MEM,)),
+        ]
+    )
+    if _np is not None
+    else None
+)
+if CHAMPSIM_DTYPE is not None:
+    assert CHAMPSIM_DTYPE.itemsize == RECORD_SIZE
+
 _U64_MASK = (1 << 64) - 1
 
+#: Records per buffered flush of :meth:`ChampSimTraceWriter.write_all`
+#: (4096 records = 256 KiB per ``write`` call).
+DEFAULT_WRITE_BLOCK = 4096
 
-class ChampSimTraceError(Exception):
-    """Raised on malformed ChampSim trace bytes or over-full records."""
+
+class ChampSimTraceError(TraceFormatError):
+    """Raised on malformed ChampSim trace bytes or over-full records.
+
+    Subclasses :class:`repro.errors.TraceFormatError` so callers can
+    treat "some trace file is malformed" uniformly across formats.
+    """
 
 
 @dataclass
@@ -147,6 +183,126 @@ def decode_instr(data: bytes) -> ChampSimInstr:
     )
 
 
+def _trusted_instr(
+    ip: int,
+    is_branch: int,
+    taken: int,
+    dst_regs: Tuple[int, ...],
+    src_regs: Tuple[int, ...],
+    dst_mem: Tuple[int, ...],
+    src_mem: Tuple[int, ...],
+) -> ChampSimInstr:
+    """Build an instruction from already-validated decoded fields.
+
+    Skips ``__post_init__`` — fields decoded from the fixed 64-byte
+    layout cannot violate the slot-count or register-range invariants.
+    """
+    instr = ChampSimInstr.__new__(ChampSimInstr)
+    instr.__dict__ = {
+        "ip": ip,
+        "is_branch": bool(is_branch),
+        "branch_taken": bool(taken),
+        "dst_regs": dst_regs,
+        "src_regs": src_regs,
+        "dst_mem": dst_mem,
+        "src_mem": src_mem,
+    }
+    return instr
+
+
+def decode_block(data: bytes) -> List[ChampSimInstr]:
+    """Decode a whole chunk of concatenated 64-byte records at once.
+
+    Equivalent to mapping :func:`decode_instr` over 64-byte slices, but
+    decodes with one precompiled ``struct.iter_unpack`` sweep.
+    """
+    if len(data) % RECORD_SIZE:
+        raise ChampSimTraceError(
+            f"block of {len(data)} bytes is not a whole number of "
+            f"{RECORD_SIZE}-byte records"
+        )
+    out: List[ChampSimInstr] = []
+    append = out.append
+    for fields in _STRUCT.iter_unpack(data):
+        append(
+            _trusted_instr(
+                fields[0],
+                fields[1],
+                fields[2],
+                tuple(r for r in fields[3:5] if r),
+                tuple(r for r in fields[5:9] if r),
+                tuple(a for a in fields[9:11] if a),
+                tuple(a for a in fields[11:15] if a),
+            )
+        )
+    return out
+
+
+def encode_block(instrs: Sequence[ChampSimInstr]) -> bytes:
+    """Serialise a sequence of instructions into one byte chunk.
+
+    Byte-identical to concatenating :func:`encode_instr`, built with a
+    single join.
+    """
+    pack = _STRUCT.pack
+    mask = _U64_MASK
+    parts: List[bytes] = []
+    append = parts.append
+    for instr in instrs:
+        dst_regs = instr.dst_regs
+        src_regs = instr.src_regs
+        dst_mem = instr.dst_mem
+        src_mem = instr.src_mem
+        if len(dst_regs) < MAX_DST_REGS:
+            dst_regs = dst_regs + (0,) * (MAX_DST_REGS - len(dst_regs))
+        if len(src_regs) < MAX_SRC_REGS:
+            src_regs = src_regs + (0,) * (MAX_SRC_REGS - len(src_regs))
+        if len(dst_mem) < MAX_DST_MEM:
+            dst_mem = dst_mem + (0,) * (MAX_DST_MEM - len(dst_mem))
+        if len(src_mem) < MAX_SRC_MEM:
+            src_mem = src_mem + (0,) * (MAX_SRC_MEM - len(src_mem))
+        append(
+            pack(
+                instr.ip & mask,
+                1 if instr.is_branch else 0,
+                1 if instr.branch_taken else 0,
+                *dst_regs,
+                *src_regs,
+                *(addr & mask for addr in dst_mem),
+                *(addr & mask for addr in src_mem),
+            )
+        )
+    return b"".join(parts)
+
+
+def decode_block_array(data: bytes):
+    """Decode a chunk of records into a numpy structured array (zero-copy).
+
+    Columnar view over the raw bytes for vectorised analysis (branch
+    density, footprint histograms, bench scans).  Requires numpy; use
+    :func:`decode_block` for the object API, which works everywhere.
+    """
+    if _np is None:
+        raise RuntimeError("decode_block_array requires numpy")
+    if len(data) % RECORD_SIZE:
+        raise ChampSimTraceError(
+            f"block of {len(data)} bytes is not a whole number of "
+            f"{RECORD_SIZE}-byte records"
+        )
+    return _np.frombuffer(data, dtype=CHAMPSIM_DTYPE)
+
+
+def encode_block_array(array) -> bytes:
+    """Serialise a ``CHAMPSIM_DTYPE`` structured array back to raw bytes."""
+    if _np is None:
+        raise RuntimeError("encode_block_array requires numpy")
+    if array.dtype != CHAMPSIM_DTYPE:
+        raise ChampSimTraceError(
+            f"array dtype {array.dtype} is not CHAMPSIM_DTYPE"
+        )
+    return array.tobytes()
+
+
 def _open(path: Union[str, Path], mode: str) -> BinaryIO:
     path = Path(path)
     if path.suffix in (".gz", ".xz"):
@@ -178,11 +334,48 @@ class ChampSimTraceWriter:
         self._stream.write(encode_instr(instr))
         self._count += 1
 
-    def write_all(self, instrs: Iterable[ChampSimInstr]) -> int:
+    def write_block(self, instrs: Sequence[ChampSimInstr]) -> int:
+        """Append a whole block of instructions with one ``write`` call."""
+        self._stream.write(encode_block(instrs))
+        self._count += len(instrs)
+        return len(instrs)
+
+    def write_encoded(self, data: bytes) -> int:
+        """Append already-encoded records (a multiple of 64 bytes).
+
+        The fused converter fast path emits block-sized byte chunks
+        directly; this keeps :attr:`records_written` accurate for them.
+        """
+        count, remainder = divmod(len(data), RECORD_SIZE)
+        if remainder:
+            raise ChampSimTraceError(
+                f"encoded chunk of {len(data)} bytes is not a whole "
+                f"number of {RECORD_SIZE}-byte records"
+            )
+        self._stream.write(data)
+        self._count += count
+        return count
+
+    def write_all(
+        self,
+        instrs: Iterable[ChampSimInstr],
+        block_size: int = DEFAULT_WRITE_BLOCK,
+    ) -> int:
+        """Append every instruction; return how many.
+
+        Encodes into a single buffer flushed once per ``block_size``
+        records (one ``write`` syscall per block, not per 64-byte
+        record).
+        """
         written = 0
+        block: List[ChampSimInstr] = []
         for instr in instrs:
-            self.write(instr)
-            written += 1
+            block.append(instr)
+            if len(block) >= block_size:
+                written += self.write_block(block)
+                block = []
+        if block:
+            written += self.write_block(block)
         return written
 
     def close(self) -> None:
@@ -206,17 +399,76 @@ class ChampSimTraceReader:
         else:
             self._stream = source
             self._owns = False
+        self._records_read = 0
 
     def __iter__(self) -> Iterator[ChampSimInstr]:
         return self
 
+    def _read_exact(self, count: int) -> bytes:
+        """Read exactly ``count`` bytes, retrying short non-EOF reads.
+
+        Raw streams may legally return fewer bytes than requested even
+        before EOF; without the retry loop a short read would be
+        misreported as truncation (or, worse, surface downstream as a
+        bare ``struct.error`` from a misaligned decode).
+        """
+        data = self._stream.read(count)
+        if not data or len(data) == count:
+            return data
+        chunks = [data]
+        got = len(data)
+        while got < count:
+            more = self._stream.read(count - got)
+            if not more:
+                break
+            chunks.append(more)
+            got += len(more)
+        return b"".join(chunks)
+
     def __next__(self) -> ChampSimInstr:
-        data = self._stream.read(RECORD_SIZE)
+        data = self._read_exact(RECORD_SIZE)
         if not data:
             raise StopIteration
         if len(data) != RECORD_SIZE:
-            raise ChampSimTraceError("trailing partial record")
+            raise ChampSimTraceError(
+                f"truncated final record: got {len(data)} bytes after "
+                f"{self._records_read} complete records, expected "
+                f"{RECORD_SIZE}"
+            )
+        self._records_read += 1
         return decode_instr(data)
+
+    def read_block(self, block_size: int) -> List[ChampSimInstr]:
+        """Read up to ``block_size`` records with one buffered read.
+
+        Returns an empty list at EOF; raises :class:`ChampSimTraceError`
+        on a truncated final record.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        data = self._read_exact(block_size * RECORD_SIZE)
+        if not data:
+            return []
+        if len(data) % RECORD_SIZE:
+            whole = len(data) // RECORD_SIZE
+            raise ChampSimTraceError(
+                f"truncated final record: got {len(data) % RECORD_SIZE} "
+                f"bytes after {self._records_read + whole} complete "
+                f"records, expected {RECORD_SIZE}"
+            )
+        block = decode_block(data)
+        self._records_read += len(block)
+        return block
+
+    def blocks(
+        self, block_size: int = DEFAULT_WRITE_BLOCK
+    ) -> Iterator[List[ChampSimInstr]]:
+        """Yield records in lists of up to ``block_size``."""
+        while True:
+            block = self.read_block(block_size)
+            if not block:
+                return
+            yield block
 
     def close(self) -> None:
         if self._owns:

@@ -183,6 +183,21 @@ class Converter:
             return [self._convert_branch(record)]
         return self._convert_nonbranch(record, registers)
 
+    def convert_to_bytes(
+        self,
+        source: Union[CvpTraceReader, Iterable[CvpRecord]],
+        block_size: int = 4096,
+    ) -> Iterator[bytes]:
+        """Block-based fast path: yield encoded ChampSim chunks.
+
+        The concatenated chunks are byte-identical to encoding
+        :meth:`convert`'s output record by record, and :attr:`stats`
+        accumulates identically; see :mod:`repro.core.fastconvert`.
+        """
+        from repro.core.fastconvert import convert_blocks_to_bytes
+
+        return convert_blocks_to_bytes(self, source, block_size)
+
     # ------------------------------------------------------------------
     # branches (paper Section 3.2)
     # ------------------------------------------------------------------

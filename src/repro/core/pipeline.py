@@ -39,22 +39,35 @@ class ConversionResult:
     stats: ConversionStats
 
 
+#: Records per conversion block of the default fast path.
+DEFAULT_BLOCK_SIZE = 4096
+
+
 def convert_file(
     source: Union[str, Path],
     destination: Union[str, Path],
     improvements: Improvement = Improvement.NONE,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> ConversionResult:
     """Convert a CVP-1 trace file to a ChampSim trace file.
 
     Compression is chosen by suffix on both ends (``.gz`` for CVP input,
     ``.gz``/``.xz`` for ChampSim output).
+
+    ``block_size`` selects the block-based fast path (records per
+    block); pass ``0`` to force the legacy record-at-a-time path.  Both
+    paths produce byte-identical output and statistics.
     """
     source = Path(source)
     destination = Path(destination)
     converter = Converter(improvements)
     with CvpTraceReader(source) as reader:
         with ChampSimTraceWriter(destination) as writer:
-            writer.write_all(converter.convert(reader))
+            if block_size:
+                for chunk in converter.convert_to_bytes(reader, block_size):
+                    writer.write_encoded(chunk)
+            else:
+                writer.write_all(converter.convert(reader))
     return ConversionResult(
         source=source,
         destination=destination,
@@ -97,6 +110,7 @@ class _SuiteTask:
     instructions: int
     improvements: Improvement
     output_dir: str
+    block_size: int = DEFAULT_BLOCK_SIZE
 
 
 def _convert_suite_task(task: _SuiteTask) -> ConversionResult:
@@ -109,7 +123,9 @@ def _convert_suite_task(task: _SuiteTask) -> ConversionResult:
     cvp_path = output_dir / f"{task.name}.cvp.gz"
     out_path = output_dir / f"{task.name}.champsimtrace.gz"
     write_trace(records, cvp_path)
-    return convert_file(cvp_path, out_path, task.improvements)
+    return convert_file(
+        cvp_path, out_path, task.improvements, block_size=task.block_size
+    )
 
 
 def convert_suite(
@@ -121,6 +137,7 @@ def convert_suite(
     stride: int = 1,
     jobs: int = 1,
     cache: Optional["ConversionCache"] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> List[ConversionResult]:
     """Generate-and-convert a whole named suite to disk.
 
@@ -134,7 +151,11 @@ def convert_suite(
     :class:`~repro.experiments.cache.ConversionCache`, traces whose
     sidecar key matches and whose output file is intact are skipped.
     """
-    from repro.synth.suite import IPC1_TO_CVP1, cvp1_public_trace_names, ipc1_trace_names
+    from repro.synth.suite import (
+        IPC1_TO_CVP1,
+        cvp1_public_trace_names,
+        ipc1_trace_names,
+    )
 
     if suite == "CVP1public":
         names = cvp1_public_trace_names()
@@ -173,6 +194,7 @@ def convert_suite(
                 instructions=instructions,
                 improvements=improvements,
                 output_dir=str(output_dir),
+                block_size=block_size,
             )
         )
         task_indices.append(index)

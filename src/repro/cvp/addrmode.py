@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.cvp.isa import CACHELINE_SIZE, InstClass
@@ -76,12 +77,46 @@ class AddressingInfo:
         return self.mode is not AddressingMode.NONE
 
 
+#: Bound on the register-signature memo below.  The *theoretical*
+#: keyspace is every (src_regs, dst_regs) tuple pair — register numbers
+#: 0..63 in up-to-255-long tuples — so a long-lived process fed
+#: million-user-scale trace corpora could otherwise grow it without
+#: limit.  In practice one trace exhibits a few thousand distinct
+#: signatures, so 4096 entries keep the hit rate near 100%.
+ADDRMODE_MEMO_SIZE = 4096
+
+
+@lru_cache(maxsize=ADDRMODE_MEMO_SIZE)
+def _static_base_info(
+    src_regs: Tuple[int, ...], dst_regs: Tuple[int, ...]
+) -> Tuple[Optional[int], Tuple[int, ...]]:
+    """Candidate base register + memory-populated destinations.
+
+    The value-independent half of the inference: the first source
+    register that is also a destination (the only register a base update
+    could target), and the destinations left over once it is excluded.
+    Memoized because the conversion hot loop asks for the same register
+    signature once per dynamic instance of each static instruction.
+    """
+    for reg in src_regs:
+        if reg in dst_regs:
+            return reg, tuple(r for r in dst_regs if r != reg)
+    return None, dst_regs
+
+
+def addrmode_memo_info():
+    """Hit/miss/size counters of the register-signature memo."""
+    return _static_base_info.cache_info()
+
+
+def clear_addrmode_memo() -> None:
+    """Drop every memoized register signature (tests, long-lived tools)."""
+    _static_base_info.cache_clear()
+
+
 def _candidate_base(record: CvpRecord) -> Optional[int]:
     """First source register that is also a destination register."""
-    for reg in record.src_regs:
-        if reg in record.dst_regs:
-            return reg
-    return None
+    return _static_base_info(record.src_regs, record.dst_regs)[0]
 
 
 def infer_addressing(
@@ -98,7 +133,7 @@ def infer_addressing(
     if not record.is_memory or record.mem_address is None:
         return AddressingInfo(AddressingMode.NONE, None, None, record.dst_regs)
 
-    base = _candidate_base(record)
+    base, memory_dsts = _static_base_info(record.src_regs, record.dst_regs)
     if base is None:
         return AddressingInfo(AddressingMode.NONE, None, None, record.dst_regs)
 
@@ -123,7 +158,6 @@ def infer_addressing(
             return AddressingInfo(AddressingMode.NONE, None, None, record.dst_regs)
 
     mode = AddressingMode.PRE_INDEX if delta == 0 else AddressingMode.POST_INDEX
-    memory_dsts = tuple(reg for reg in record.dst_regs if reg != base)
     return AddressingInfo(mode, base, written, memory_dsts)
 
 

@@ -29,6 +29,7 @@ import io
 import struct
 from typing import BinaryIO, Optional
 
+from repro.errors import TraceFormatError
 from repro.cvp.isa import (
     FIRST_VEC_REGISTER,
     InstClass,
@@ -37,15 +38,13 @@ from repro.cvp.isa import (
 )
 from repro.cvp.record import CvpRecord
 
+__all__ = ["TraceFormatError", "encode_record", "decode_record"]
+
 _U8 = struct.Struct("<B")
 _U64 = struct.Struct("<Q")
 
 _U64_MASK = (1 << 64) - 1
 _U128_MASK = (1 << 128) - 1
-
-
-class TraceFormatError(Exception):
-    """Raised when a byte stream does not decode as a CVP-1 trace."""
 
 
 def encode_record(record: CvpRecord) -> bytes:

@@ -100,6 +100,39 @@ class CvpTraceReader:
         self._count += 1
         return record
 
+    def blocks(self, block_size: Optional[int] = None) -> Iterator[List[CvpRecord]]:
+        """Yield records in lists of up to ``block_size`` (the fast path).
+
+        Streams large buffered reads through
+        :mod:`repro.cvp.blockio` instead of decoding record-at-a-time;
+        the concatenation of the blocks equals plain iteration.  Register
+        tracking is untouched — batch consumers carry their own state
+        (see :mod:`repro.core.fastconvert`).  Falls back to chunking for
+        in-memory record sources.
+        """
+        from repro.cvp.blockio import DEFAULT_BLOCK_SIZE, iter_record_blocks
+
+        if block_size is None:
+            block_size = DEFAULT_BLOCK_SIZE
+        if self._records is not None:
+            if block_size < 1:
+                raise ValueError(f"block_size must be >= 1, got {block_size}")
+            block: List[CvpRecord] = []
+            for record in self._records:
+                block.append(record)
+                if len(block) >= block_size:
+                    self._count += len(block)
+                    yield block
+                    block = []
+            if block:
+                self._count += len(block)
+                yield block
+            return
+        assert self._stream is not None
+        for block in iter_record_blocks(self._stream, block_size):
+            self._count += len(block)
+            yield block
+
     def commit(self, record: CvpRecord) -> None:
         """Fold ``record``'s output values into :attr:`registers`."""
         self.registers.apply(record)

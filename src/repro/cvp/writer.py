@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import BinaryIO, Iterable, Union
+from typing import BinaryIO, Iterable, List, Sequence, Union
 
+from repro.cvp.blockio import encode_block
 from repro.cvp.encoding import encode_record
 from repro.cvp.record import CvpRecord
 
@@ -46,12 +47,27 @@ class CvpTraceWriter:
         self._stream.write(encode_record(record))
         self._count += 1
 
-    def write_all(self, records: Iterable[CvpRecord]) -> int:
-        """Append every record of ``records``; return how many."""
+    def write_block(self, records: Sequence[CvpRecord]) -> int:
+        """Append a whole block of records with one ``write`` call."""
+        self._stream.write(encode_block(records))
+        self._count += len(records)
+        return len(records)
+
+    def write_all(self, records: Iterable[CvpRecord], block_size: int = 4096) -> int:
+        """Append every record of ``records``; return how many.
+
+        Records are encoded in blocks of ``block_size`` and flushed with
+        one ``write`` per block instead of one per record.
+        """
         written = 0
+        block: List[CvpRecord] = []
         for record in records:
-            self.write(record)
-            written += 1
+            block.append(record)
+            if len(block) >= block_size:
+                written += self.write_block(block)
+                block = []
+        if block:
+            written += self.write_block(block)
         return written
 
     def close(self) -> None:

@@ -1,0 +1,18 @@
+"""Shared exception types for the trace tool-chain.
+
+Both trace formats — variable-length CVP-1 records and fixed 64-byte
+ChampSim records — can be handed corrupt or truncated bytes, and every
+layer above them (converter, linter, simulator, bench harness) wants to
+catch "the input file is malformed" with one ``except`` clause.
+:class:`TraceFormatError` is that common root.
+
+:mod:`repro.cvp.encoding` re-exports it under its historical location,
+and :class:`repro.champsim.trace.ChampSimTraceError` subclasses it, so
+existing ``except`` clauses keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class TraceFormatError(Exception):
+    """Raised when a byte stream does not decode as a trace record."""

@@ -4,12 +4,19 @@ ChampSim traces carry neither branch types nor branch targets: the type
 is deduced from register usage (:mod:`repro.champsim.branch_info`) and
 the target of a taken branch is the IP of the *next* instruction in the
 trace.  :func:`decode_trace` performs both derivations in one pass.
+
+Dynamic traces replay the same static instructions millions of times, so
+:class:`DecodeCache` memoizes the finished :class:`DecodedInstr` per
+unique record: warm-up plus measurement loops (and repeated
+:class:`~repro.sim.simulator.Simulator` runs over one trace) deduce each
+hot instruction's branch type once instead of once per dynamic instance.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.champsim.branch_info import BranchRules, BranchType, deduce_branch_type
 from repro.champsim.trace import ChampSimInstr
@@ -46,29 +53,110 @@ class DecodedInstr:
         return bool(self.dst_mem)
 
 
+#: Default bound on :class:`DecodeCache`.  One entry per unique dynamic
+#: record; branches and register-only instructions repeat exactly, so a
+#: trace's working set is its static-instruction count (thousands), far
+#: below this.
+DECODE_CACHE_SIZE = 1 << 16
+
+
+class DecodeCache:
+    """LRU memo of :class:`DecodedInstr` objects, reusable across runs.
+
+    The key is the instruction's PC plus every other field of its 64-byte
+    ChampSim record (the fields are bijective with the record's raw
+    bytes, so this is "PC + raw bytes" without paying to re-encode them),
+    plus the attached next-IP target and the branch-rule set.  Cached
+    entries are shared: the engine treats :class:`DecodedInstr` as
+    read-only, and the differential tests pin that repeated cached runs
+    produce identical statistics.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_entries")
+
+    def __init__(self, maxsize: int = DECODE_CACHE_SIZE):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, DecodedInstr]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def decode(
+        self, instr: ChampSimInstr, target: int, rules: BranchRules
+    ) -> DecodedInstr:
+        """Return the (possibly shared) decode of one dynamic record."""
+        key = (
+            rules,
+            instr.ip,
+            instr.is_branch,
+            instr.branch_taken,
+            instr.src_regs,
+            instr.dst_regs,
+            instr.src_mem,
+            instr.dst_mem,
+            target,
+        )
+        entries = self._entries
+        cached = entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        decoded = DecodedInstr(
+            ip=instr.ip,
+            branch_type=deduce_branch_type(instr, rules),
+            branch_taken=bool(instr.is_branch and instr.branch_taken),
+            target=target,
+            src_regs=instr.src_regs,
+            dst_regs=instr.dst_regs,
+            src_mem=instr.src_mem,
+            dst_mem=instr.dst_mem,
+        )
+        entries[key] = decoded
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+        return decoded
+
+
 def decode_trace(
     instrs: Sequence[ChampSimInstr],
     rules: BranchRules = BranchRules.ORIGINAL,
+    cache: Optional[DecodeCache] = None,
 ) -> List[DecodedInstr]:
     """Deduce branch types and attach next-IP targets.
 
     The last instruction of a taken-branch-terminated trace has no next
     IP; its target falls back to its own IP (it cannot influence timing).
+
+    With a :class:`DecodeCache`, repeated static instructions reuse one
+    shared :class:`DecodedInstr` instead of re-deducing their branch
+    type — the output is element-wise equal to the uncached decode.
     """
     decoded: List[DecodedInstr] = []
+    append = decoded.append
+    n = len(instrs)
     for index, instr in enumerate(instrs):
-        branch_type = deduce_branch_type(instr, rules)
         taken = bool(instr.is_branch and instr.branch_taken)
         target = 0
         if taken:
-            if index + 1 < len(instrs):
-                target = instrs[index + 1].ip
-            else:
-                target = instr.ip
-        decoded.append(
+            target = instrs[index + 1].ip if index + 1 < n else instr.ip
+        if cache is not None:
+            append(cache.decode(instr, target, rules))
+            continue
+        append(
             DecodedInstr(
                 ip=instr.ip,
-                branch_type=branch_type,
+                branch_type=deduce_branch_type(instr, rules),
                 branch_taken=taken,
                 target=target,
                 src_regs=instr.src_regs,

@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Optional, Sequence
 
-from repro.champsim.branch_info import BranchType
+from repro.champsim.branch_info import BranchRules, BranchType
 from repro.sim.branch import (
     BTB,
     ITTAGE,
@@ -32,7 +32,7 @@ from repro.sim.branch import (
 from repro.sim.cache.cache import LINE_SIZE
 from repro.sim.cache.hierarchy import CacheHierarchy
 from repro.sim.config import SimConfig
-from repro.sim.decoded import DecodedInstr
+from repro.sim.decoded import DecodeCache, DecodedInstr, decode_trace
 from repro.sim.prefetch import make_data_prefetcher, make_instruction_prefetcher
 from repro.sim.stats import SimStats
 
@@ -43,10 +43,20 @@ _INDIRECT_TYPES = (BranchType.INDIRECT, BranchType.INDIRECT_CALL)
 
 
 class Engine:
-    """Single-run engine; construct fresh per simulation."""
+    """Single-run engine; construct fresh per simulation.
 
-    def __init__(self, config: SimConfig):
+    ``decode_cache`` (usually supplied by the long-lived
+    :class:`~repro.sim.simulator.Simulator`) lets :meth:`run` accept raw
+    :class:`~repro.champsim.trace.ChampSimInstr` sequences and decode
+    them through the shared pre-decode memo, so warm-up+measure loops
+    over one trace stop re-decoding the same hot instructions.
+    """
+
+    def __init__(
+        self, config: SimConfig, decode_cache: "Optional[DecodeCache]" = None
+    ):
         self.config = config
+        self.decode_cache = decode_cache
         self.stats = SimStats()
         self.hierarchy = CacheHierarchy(config, self.stats)
         self.hierarchy.l1d_prefetcher = make_data_prefetcher(
@@ -61,8 +71,20 @@ class Engine:
 
     # ------------------------------------------------------------------
 
-    def run(self, decoded: Sequence[DecodedInstr]) -> SimStats:
-        """Simulate the whole trace; return the (post-warm-up) statistics."""
+    def run(
+        self,
+        decoded: Sequence[DecodedInstr],
+        rules: BranchRules = BranchRules.ORIGINAL,
+    ) -> SimStats:
+        """Simulate the whole trace; return the (post-warm-up) statistics.
+
+        ``decoded`` may also be a sequence of raw
+        :class:`~repro.champsim.trace.ChampSimInstr` records; they are
+        decoded here under ``rules``, through :attr:`decode_cache` when
+        one is attached.
+        """
+        if decoded and not isinstance(decoded[0], DecodedInstr):
+            decoded = decode_trace(decoded, rules, cache=self.decode_cache)
         config = self.config
         stats = self.stats
         hierarchy = self.hierarchy

@@ -16,32 +16,52 @@ reports for the trace.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.champsim.branch_info import BranchRules
 from repro.champsim.trace import ChampSimInstr, read_champsim_trace
 from repro.sim.config import SimConfig
-from repro.sim.decoded import DecodedInstr, decode_trace
+from repro.sim.decoded import DecodeCache, DecodedInstr, decode_trace
 from repro.sim.engine import Engine
 from repro.sim.stats import SimStats
 
 TraceLike = Union[str, Path, Sequence[ChampSimInstr], Sequence[DecodedInstr]]
 
 
-def _as_decoded(trace: TraceLike, rules: BranchRules) -> List[DecodedInstr]:
+def _as_decoded(
+    trace: TraceLike,
+    rules: BranchRules,
+    cache: "Optional[DecodeCache]" = None,
+) -> List[DecodedInstr]:
     if isinstance(trace, (str, Path)):
-        return decode_trace(read_champsim_trace(trace), rules)
+        return decode_trace(read_champsim_trace(trace), rules, cache=cache)
     trace = list(trace)
     if trace and isinstance(trace[0], DecodedInstr):
         return trace  # type: ignore[return-value]
-    return decode_trace(trace, rules)  # type: ignore[arg-type]
+    return decode_trace(trace, rules, cache=cache)  # type: ignore[arg-type]
 
 
 class Simulator:
-    """Run the interval model over ChampSim traces."""
+    """Run the interval model over ChampSim traces.
 
-    def __init__(self, config: SimConfig):
+    The simulator is long-lived while each :class:`Engine` is per-run;
+    it owns the :class:`~repro.sim.decoded.DecodeCache` shared across
+    runs, so re-simulating a trace (sweeps, warm-up+measure loops,
+    benchmarking) skips branch-type deduction for every instruction
+    already seen.  Pass ``decode_cache=None`` to opt out.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        decode_cache: "Union[Optional[DecodeCache], str]" = "fresh",
+    ):
         self.config = config
+        if decode_cache == "fresh":
+            decode_cache = DecodeCache()
+        elif decode_cache is not None and not isinstance(decode_cache, DecodeCache):
+            raise TypeError("decode_cache must be a DecodeCache, None, or 'fresh'")
+        self.decode_cache = decode_cache
 
     def run(
         self,
@@ -49,8 +69,8 @@ class Simulator:
         rules: BranchRules = BranchRules.ORIGINAL,
     ) -> SimStats:
         """Simulate one trace with a fresh engine; return its statistics."""
-        decoded = _as_decoded(trace, rules)
-        engine = Engine(self.config)
+        decoded = _as_decoded(trace, rules, cache=self.decode_cache)
+        engine = Engine(self.config, decode_cache=self.decode_cache)
         return engine.run(decoded)
 
 

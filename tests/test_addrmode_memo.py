@@ -1,0 +1,50 @@
+"""The register-signature memo in addrmode stays bounded and correct."""
+
+from repro.cvp.addrmode import (
+    ADDRMODE_MEMO_SIZE,
+    _static_base_info,
+    addrmode_memo_info,
+    clear_addrmode_memo,
+)
+
+
+def test_memo_counts_hits_and_misses():
+    clear_addrmode_memo()
+    assert _static_base_info((1, 2), (1,)) == (1, ())
+    assert _static_base_info((1, 2), (1,)) == (1, ())
+    info = addrmode_memo_info()
+    assert info.misses == 1
+    assert info.hits == 1
+    assert info.currsize == 1
+    clear_addrmode_memo()
+    assert addrmode_memo_info().currsize == 0
+
+
+def test_memo_never_exceeds_its_lru_bound():
+    clear_addrmode_memo()
+    # Far more distinct register signatures than the memo can hold.
+    # lru_cache keys on the argument values, so each (src, dst) pair is
+    # a fresh entry; the LRU bound must evict rather than grow.
+    distinct = 0
+    for a in range(64):
+        for b in range(64):
+            for c in range(2):
+                _static_base_info((a, b), (b, c))
+                distinct += 1
+    assert distinct > ADDRMODE_MEMO_SIZE
+    info = addrmode_memo_info()
+    assert info.currsize <= ADDRMODE_MEMO_SIZE
+    assert info.misses >= distinct - info.hits
+    clear_addrmode_memo()
+
+
+def test_memo_eviction_preserves_results():
+    clear_addrmode_memo()
+    # Prime one signature, evict it by flooding, then re-ask: the
+    # recomputed answer must match the original.
+    first = _static_base_info((3, 7), (7, 9))
+    for a in range(70):
+        for b in range(70):
+            _static_base_info((a,), (b,))
+    assert _static_base_info((3, 7), (7, 9)) == first == (7, (9,))
+    clear_addrmode_memo()

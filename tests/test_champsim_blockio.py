@@ -1,0 +1,174 @@
+"""Block encode/decode and buffered I/O for the ChampSim trace format."""
+
+import io
+
+import pytest
+
+from repro.champsim.trace import (
+    CHAMPSIM_DTYPE,
+    RECORD_SIZE,
+    ChampSimInstr,
+    ChampSimTraceError,
+    ChampSimTraceReader,
+    ChampSimTraceWriter,
+    decode_block,
+    decode_block_array,
+    decode_instr,
+    encode_block,
+    encode_block_array,
+    encode_instr,
+)
+from repro.errors import TraceFormatError
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+
+def _instrs(count=20):
+    out = []
+    for i in range(count):
+        if i % 4 == 3:
+            out.append(
+                ChampSimInstr(
+                    ip=0x1000 + 4 * i,
+                    is_branch=True,
+                    branch_taken=bool(i % 8 == 3),
+                    dst_regs=(64,),
+                    src_regs=(25, 64),
+                    dst_mem=(),
+                    src_mem=(),
+                )
+            )
+        elif i % 4 == 1:
+            out.append(
+                ChampSimInstr(
+                    ip=0x1000 + 4 * i,
+                    is_branch=False,
+                    branch_taken=False,
+                    dst_regs=(i % 30 + 1,),
+                    src_regs=(2, 3),
+                    dst_mem=(),
+                    src_mem=(0x8000 + 64 * i,),
+                )
+            )
+        else:
+            out.append(
+                ChampSimInstr(
+                    ip=0x1000 + 4 * i,
+                    is_branch=False,
+                    branch_taken=False,
+                    dst_regs=(1,),
+                    src_regs=(2,),
+                    dst_mem=(),
+                    src_mem=(),
+                )
+            )
+    return out
+
+
+def test_encode_block_matches_per_record_encoding():
+    instrs = _instrs()
+    assert encode_block(instrs) == b"".join(encode_instr(i) for i in instrs)
+
+
+def test_decode_block_matches_per_record_decoding():
+    data = encode_block(_instrs())
+    per_record = [
+        decode_instr(data[off : off + RECORD_SIZE])
+        for off in range(0, len(data), RECORD_SIZE)
+    ]
+    assert decode_block(data) == per_record
+
+
+def test_decode_block_rejects_ragged_input():
+    data = encode_block(_instrs(3))
+    with pytest.raises(ChampSimTraceError):
+        decode_block(data[:-1])
+
+
+@pytest.mark.skipif(np is None, reason="numpy not installed")
+def test_numpy_array_round_trip():
+    data = encode_block(_instrs())
+    array = decode_block_array(data)
+    assert array.dtype == CHAMPSIM_DTYPE
+    assert len(array) == 20
+    assert list(array["ip"][:3]) == [0x1000, 0x1004, 0x1008]
+    assert encode_block_array(array) == data
+
+
+@pytest.mark.skipif(np is None, reason="numpy not installed")
+def test_numpy_array_rejects_wrong_dtype():
+    with pytest.raises(ChampSimTraceError):
+        encode_block_array(np.zeros(4, dtype=np.uint8))
+
+
+def test_write_all_flushes_once_per_block():
+    instrs = _instrs(10)
+
+    class CountingStream(io.BytesIO):
+        writes = 0
+
+        def write(self, data):
+            CountingStream.writes += 1
+            return super().write(data)
+
+    stream = CountingStream()
+    writer = ChampSimTraceWriter(stream)
+    written = writer.write_all(instrs, block_size=4)
+    assert written == 10
+    assert writer.records_written == 10
+    # 10 records in blocks of 4 -> 3 write calls, not 10.
+    assert CountingStream.writes == 3
+    assert stream.getvalue() == encode_block(instrs)
+
+
+def test_write_encoded_counts_records_and_validates():
+    instrs = _instrs(5)
+    stream = io.BytesIO()
+    writer = ChampSimTraceWriter(stream)
+    assert writer.write_encoded(encode_block(instrs)) == 5
+    assert writer.records_written == 5
+    with pytest.raises(ChampSimTraceError):
+        writer.write_encoded(b"\x00" * (RECORD_SIZE + 1))
+    assert writer.records_written == 5  # failed write did not count
+
+
+def test_reader_truncated_final_record_is_a_clear_error():
+    data = encode_block(_instrs(3))
+    reader = ChampSimTraceReader(io.BytesIO(data[:-7]))
+    assert next(reader).ip == 0x1000
+    assert next(reader).ip == 0x1004
+    with pytest.raises(ChampSimTraceError) as excinfo:
+        next(reader)
+    message = str(excinfo.value)
+    assert "truncated final record" in message
+    assert "2 complete records" in message
+    assert isinstance(excinfo.value, TraceFormatError)
+
+
+def test_read_block_truncation_reports_complete_record_count():
+    data = encode_block(_instrs(6))
+    reader = ChampSimTraceReader(io.BytesIO(data[:-1]))
+    assert len(reader.read_block(4)) == 4
+    with pytest.raises(ChampSimTraceError) as excinfo:
+        reader.read_block(4)
+    assert "5 complete records" in str(excinfo.value)
+
+
+def test_reader_blocks_round_trip(tmp_path):
+    instrs = _instrs(11)
+    path = tmp_path / "trace.champsimtrace.gz"
+    with ChampSimTraceWriter(path) as writer:
+        writer.write_all(instrs, block_size=4)
+    with ChampSimTraceReader(path) as reader:
+        blocks = list(reader.blocks(4))
+    assert [len(b) for b in blocks] == [4, 4, 3]
+    assert [i for b in blocks for i in b] == instrs
+
+
+def test_read_block_rejects_nonpositive_size():
+    reader = ChampSimTraceReader(io.BytesIO(b""))
+    with pytest.raises(ValueError):
+        reader.read_block(0)

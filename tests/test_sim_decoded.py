@@ -1,12 +1,14 @@
 """Decode-stage tests: branch typing + next-IP target attachment."""
 
+import pytest
+
 from repro.champsim.branch_info import BranchRules, BranchType
 from repro.champsim.regs import (
     REG_FLAGS,
     REG_INSTRUCTION_POINTER as IP,
 )
 from repro.champsim.trace import ChampSimInstr
-from repro.sim.decoded import decode_trace
+from repro.sim.decoded import DecodeCache, decode_trace
 
 
 def cond(ip, taken):
@@ -75,3 +77,149 @@ def test_rules_are_applied():
 
 def test_empty_trace():
     assert decode_trace([]) == []
+
+
+# --------------------------------------------------------------------------
+# DecodeCache
+
+
+def _mixed_stream():
+    # The same loop body twice: identical (branch, outcome, target)
+    # tuples the second time around, so the cache gets real hits.
+    body = [
+        cond(0x100, True),
+        plain(0x4000),
+        plain(0x4004),
+    ]
+    return (
+        body
+        + body
+        + [
+            cond(0x100, False),  # same branch, new outcome -> new key
+            ChampSimInstr(ip=0x500, src_mem=(0x40,), dst_regs=(3,)),
+        ]
+    )
+
+
+def test_cached_decode_equals_uncached():
+    stream = _mixed_stream()
+    for rules in (BranchRules.ORIGINAL, BranchRules.PATCHED):
+        cache = DecodeCache()
+        assert decode_trace(stream, rules, cache=cache) == decode_trace(
+            stream, rules
+        )
+
+
+def test_cache_counts_hits_and_misses():
+    stream = _mixed_stream()
+    cache = DecodeCache()
+    decode_trace(stream, cache=cache)
+    first_misses = cache.misses
+    assert first_misses == len(cache)
+    assert cache.hits == len(stream) - first_misses
+    assert cache.hits > 0  # the repeated (branch, outcome) pair hit
+    # A second pass over the same stream is all hits.
+    decode_trace(stream, cache=cache)
+    assert cache.misses == first_misses
+    assert cache.hits == (len(stream) - first_misses) + len(stream)
+
+
+def test_cache_distinguishes_rules():
+    # The PATCHED/ORIGINAL divergent branch from test_rules_are_applied
+    # must not share a cache slot across rule sets.
+    instr = ChampSimInstr(
+        ip=0x100,
+        is_branch=True,
+        branch_taken=True,
+        src_regs=(IP, 31),
+        dst_regs=(IP,),
+    )
+    stream = [instr, plain(0x4000)]
+    cache = DecodeCache()
+    original = decode_trace(stream, BranchRules.ORIGINAL, cache=cache)
+    patched = decode_trace(stream, BranchRules.PATCHED, cache=cache)
+    assert original[0].branch_type is BranchType.INDIRECT
+    assert patched[0].branch_type is BranchType.CONDITIONAL
+
+
+def test_cache_respects_its_size_bound():
+    cache = DecodeCache(maxsize=8)
+    stream = [plain(0x1000 + 4 * i) for i in range(50)]
+    decoded = decode_trace(stream, cache=cache)
+    assert len(cache) == 8
+    assert decoded == decode_trace(stream)
+    # The survivors are the most recent keys: re-decoding the tail hits.
+    hits_before = cache.hits
+    decode_trace(stream[-8:], cache=cache)
+    assert cache.hits == hits_before + 8
+
+
+def test_cache_clear():
+    cache = DecodeCache()
+    decode_trace(_mixed_stream(), cache=cache)
+    assert len(cache) > 0
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 0
+    assert cache.misses == 0
+
+
+def test_cache_rejects_nonpositive_maxsize():
+    with pytest.raises(ValueError):
+        DecodeCache(maxsize=0)
+
+
+# --------------------------------------------------------------------------
+# Simulator / Engine wiring
+
+
+def _sim_stats(stats):
+    return (
+        stats.cycles,
+        stats.instructions,
+        stats.branches,
+        stats.mispredicted_branches,
+    )
+
+
+def test_simulator_results_identical_with_and_without_cache():
+    from repro.sim import SimConfig, Simulator
+
+    stream = _mixed_stream() * 5
+    cached_sim = Simulator(SimConfig.main())  # "fresh" cache by default
+    uncached_sim = Simulator(SimConfig.main(), decode_cache=None)
+    first = cached_sim.run(stream)
+    assert _sim_stats(first) == _sim_stats(uncached_sim.run(stream))
+    # Re-running through the now-warm cache changes nothing.
+    assert _sim_stats(cached_sim.run(stream)) == _sim_stats(first)
+    assert cached_sim.decode_cache.hits > 0
+
+
+def test_each_simulator_gets_its_own_fresh_cache():
+    from repro.sim import SimConfig, Simulator
+
+    a = Simulator(SimConfig.main())
+    b = Simulator(SimConfig.main())
+    assert a.decode_cache is not b.decode_cache
+    shared = DecodeCache()
+    assert Simulator(SimConfig.main(), decode_cache=shared).decode_cache is (
+        shared
+    )
+
+
+def test_simulator_rejects_bogus_cache_argument():
+    from repro.sim import SimConfig, Simulator
+
+    with pytest.raises(TypeError):
+        Simulator(SimConfig.main(), decode_cache="warm")
+
+
+def test_engine_accepts_predecoded_and_raw_streams():
+    from repro.sim import SimConfig
+    from repro.sim.engine import Engine
+
+    stream = _mixed_stream() * 3
+    decoded = decode_trace(stream)
+    raw_stats = Engine(SimConfig.main()).run(stream)
+    decoded_stats = Engine(SimConfig.main()).run(decoded)
+    assert _sim_stats(raw_stats) == _sim_stats(decoded_stats)
