@@ -29,6 +29,7 @@ from repro.experiments.cache import (
     default_cache_dir,
     file_digest,
 )
+from repro.obs.instruments import CacheCounters, InstrumentedCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.analysis.engine import TraceLinter
@@ -86,14 +87,12 @@ def report_from_dict(payload: dict, from_cache: bool = False) -> LintReport:
     )
 
 
-class LintCache:
+class LintCache(InstrumentedCache):
     """On-disk store of lint reports, keyed by :func:`lint_key`."""
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
+        self.counters = CacheCounters("lint")
 
     def _path(self, key: str) -> Path:
         return self.root / "lint" / key[:2] / f"{key}.json"
@@ -106,9 +105,9 @@ class LintCache:
                 raise ValueError("schema mismatch")
             report = report_from_dict(payload["report"], from_cache=True)
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+            self.counters.miss()
             return None
-        self.hits += 1
+        self.counters.hit()
         return report
 
     def store(self, key: str, report: LintReport) -> None:
@@ -116,12 +115,13 @@ class LintCache:
         try:
             _atomic_write_json(self._path(key), payload)
         except OSError:
+            self.counters.store_error()
             return
-        self.stores += 1
+        self.counters.store()
 
     def describe(self) -> str:
         return (
-            f"hits={self.hits} misses={self.misses} stores={self.stores} "
+            f"{self.counters.describe_hit_miss()} stores={self.stores} "
             f"dir={self.root}"
         )
 

@@ -18,11 +18,13 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.improvements import (
     IMPROVEMENT_NAMES,
     Improvement,
     parse_improvements,
 )
+from repro.obs import logutil
 
 #: ``--no-improvement`` spellings: the paper's Table 1 singletons.
 IMPROVEMENT_FLAGS = {
@@ -132,6 +134,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    obs.add_obs_flags(parser)
+    logutil.add_logging_flags(parser)
     return parser
 
 
@@ -144,6 +148,8 @@ def _split_patterns(values: Sequence[str]) -> List[str]:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logutil.configure_from_args(args)
+    obs.setup_cli("repro-lint", args)
 
     from repro.analysis.reporters import (
         render_json,

@@ -195,6 +195,8 @@ class TraceLinter:
         trace: str = "<memory>",
     ) -> LintReport:
         """Lint a record stream; returns the per-trace report."""
+        from repro import obs
+
         reader = (
             source
             if isinstance(source, CvpTraceReader)
@@ -204,26 +206,43 @@ class TraceLinter:
         diagnostics: List[Diagnostic] = []
         previous: Optional[CvpRecord] = None
         count = 0
-        for index, record in enumerate(reader):
-            ctx = RuleContext(
-                trace=trace,
-                index=index,
-                improvements=self.improvements,
-                branch_rules=self.branch_rules,
-                registers=reader.registers,
-                previous=previous,
+        with obs.span("lint.records", trace=trace) as lint_span:
+            for index, record in enumerate(reader):
+                ctx = RuleContext(
+                    trace=trace,
+                    index=index,
+                    improvements=self.improvements,
+                    branch_rules=self.branch_rules,
+                    registers=reader.registers,
+                    previous=previous,
+                )
+                for input_rule in self.input_rules:
+                    diagnostics.extend(input_rule.check(record, ctx))
+                if self.conversion_rules:
+                    instrs = converter.convert_record(record, reader.registers)
+                    for conversion_rule in self.conversion_rules:
+                        diagnostics.extend(
+                            conversion_rule.check(record, instrs, ctx)
+                        )
+                reader.commit(record)
+                previous = record
+                count += 1
+            lint_span.set(records=count, diagnostics=len(diagnostics))
+        if obs.enabled():
+            obs.counter(
+                "repro_lint_records_total", "Records linted."
+            ).inc(count)
+            fires = obs.counter(
+                "repro_lint_rule_fires_total",
+                "Diagnostics emitted, by rule ID.",
             )
-            for input_rule in self.input_rules:
-                diagnostics.extend(input_rule.check(record, ctx))
-            if self.conversion_rules:
-                instrs = converter.convert_record(record, reader.registers)
-                for conversion_rule in self.conversion_rules:
-                    diagnostics.extend(
-                        conversion_rule.check(record, instrs, ctx)
-                    )
-            reader.commit(record)
-            previous = record
-            count += 1
+            by_rule: Dict[str, int] = {}
+            for diagnostic in diagnostics:
+                by_rule[diagnostic.rule_id] = (
+                    by_rule.get(diagnostic.rule_id, 0) + 1
+                )
+            for rule_id, fired in by_rule.items():
+                fires.labels(rule=rule_id).inc(fired)
         return LintReport(
             trace=trace,
             improvements=self.improvements,

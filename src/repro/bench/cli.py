@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.bench.harness import (
     compare_payloads,
     load_report,
@@ -26,6 +27,7 @@ from repro.bench.harness import (
     write_report,
 )
 from repro.bench.phases import DEFAULT_FIXTURES, PHASES, run_phase
+from repro.obs import logutil
 
 #: Repeats per workload: full mode favours stable minima, ``--quick``
 #: favours CI wall time.
@@ -80,6 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="slowdown factor that counts as a regression (default 2.0)",
     )
+    obs.add_obs_flags(parser)
+    logutil.add_logging_flags(parser)
     return parser
 
 
@@ -92,6 +96,8 @@ def _baseline_for(compare: Path, phase: str) -> Optional[Path]:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logutil.configure_from_args(args)
+    obs.setup_cli("repro-bench", args)
     phases = list(args.phases) or sorted(PHASES)
     repeats = args.repeat
     if repeats is None:

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import TraceFormatError
+from repro.obs import state as _obs_state
 
 try:  # numpy is an optional fast path; the stdlib route always works.
     import numpy as _np
@@ -336,8 +337,11 @@ class ChampSimTraceWriter:
 
     def write_block(self, instrs: Sequence[ChampSimInstr]) -> int:
         """Append a whole block of instructions with one ``write`` call."""
-        self._stream.write(encode_block(instrs))
+        data = encode_block(instrs)
+        self._stream.write(data)
         self._count += len(instrs)
+        if _obs_state.enabled():
+            _count_io("write", len(data))
         return len(instrs)
 
     def write_encoded(self, data: bytes) -> int:
@@ -354,6 +358,8 @@ class ChampSimTraceWriter:
             )
         self._stream.write(data)
         self._count += count
+        if _obs_state.enabled():
+            _count_io("write", len(data))
         return count
 
     def write_all(
@@ -430,6 +436,7 @@ class ChampSimTraceReader:
         if not data:
             raise StopIteration
         if len(data) != RECORD_SIZE:
+            _emit_truncation(len(data))
             raise ChampSimTraceError(
                 f"truncated final record: got {len(data)} bytes after "
                 f"{self._records_read} complete records, expected "
@@ -451,6 +458,7 @@ class ChampSimTraceReader:
             return []
         if len(data) % RECORD_SIZE:
             whole = len(data) // RECORD_SIZE
+            _emit_truncation(len(data) % RECORD_SIZE)
             raise ChampSimTraceError(
                 f"truncated final record: got {len(data) % RECORD_SIZE} "
                 f"bytes after {self._records_read + whole} complete "
@@ -458,6 +466,8 @@ class ChampSimTraceReader:
             )
         block = decode_block(data)
         self._records_read += len(block)
+        if _obs_state.enabled():
+            _count_io("read", len(data))
         return block
 
     def blocks(
@@ -479,6 +489,31 @@ class ChampSimTraceReader:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def _count_io(direction: str, nbytes: int) -> None:
+    """Fold one block-granularity I/O observation into the registry."""
+    from repro.obs import counter
+
+    counter(
+        f"repro_trace_bytes_{direction}_total",
+        f"Decompressed trace bytes {direction}, by format.",
+    ).labels(format="champsim").inc(nbytes)
+    counter(
+        f"repro_trace_blocks_{direction}_total",
+        f"Record blocks {direction}, by format.",
+    ).labels(format="champsim").inc(1)
+
+
+def _emit_truncation(trailing_bytes: int) -> None:
+    """Record a truncated-trace event before raising the format error."""
+    if _obs_state.enabled():
+        from repro.obs import emit_event
+
+        emit_event(
+            "trace.truncated",
+            {"format": "champsim", "trailing_bytes": trailing_bytes},
+        )
 
 
 def write_champsim_trace(

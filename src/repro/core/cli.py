@@ -23,8 +23,10 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.improvements import IMPROVEMENT_NAMES, parse_improvements
 from repro.core.pipeline import ConversionResult, convert_file, convert_suite
+from repro.obs import logutil
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,7 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="output ChampSim trace (.gz/.xz compressed by suffix)",
     )
     parser.add_argument(
-        "-v", "--verbose", action="store_true", help="print conversion stats"
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help=(
+            "print conversion stats and raise the log level "
+            "(-v INFO, -vv DEBUG)"
+        ),
     )
     parser.add_argument(
         "--block-size",
@@ -101,6 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reconvert every trace even when sidecar stats match",
     )
+    obs.add_obs_flags(parser)
+    logutil.add_logging_flags(parser)
     return parser
 
 
@@ -159,6 +170,8 @@ def _main_suite(args: argparse.Namespace, improvements) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logutil.configure_from_args(args)
+    obs.setup_cli("repro-convert", args)
     try:
         improvements = parse_improvements(args.improvement)
     except ValueError as exc:

@@ -193,7 +193,16 @@ class Converter:
         The concatenated chunks are byte-identical to encoding
         :meth:`convert`'s output record by record, and :attr:`stats`
         accumulates identically; see :mod:`repro.core.fastconvert`.
+        With observability enabled (``REPRO_OBS``/``--obs``) the stream
+        additionally emits spans and counters — still byte-identical —
+        via :mod:`repro.core.obsconvert`.
         """
+        from repro.obs import state as obs_state
+
+        if obs_state.enabled():
+            from repro.core.obsconvert import convert_blocks_to_bytes_observed
+
+            return convert_blocks_to_bytes_observed(self, source, block_size)
         from repro.core.fastconvert import convert_blocks_to_bytes
 
         return convert_blocks_to_bytes(self, source, block_size)
@@ -358,6 +367,12 @@ class Converter:
             self.stats.dsts_dropped += len(mapped) - 1
         return (mapped[0],)
 
+    def _infer_addressing(
+        self, record: CvpRecord, registers: Optional[RegisterFile]
+    ) -> AddressingInfo:
+        """Addressing-mode inference hook (overridable for profiling)."""
+        return infer_addressing(record, registers)
+
     def _final_sources(self, record: CvpRecord) -> Tuple[int, ...]:
         sources = [champsim_reg(reg) for reg in record.src_regs]
         sources = list(_dedupe(sources))
@@ -404,7 +419,7 @@ class Converter:
             or Improvement.MEM_FOOTPRINT in self.improvements
         )
         info = (
-            infer_addressing(record, registers)
+            self._infer_addressing(record, registers)
             if want_inference
             else AddressingInfo(AddressingMode.NONE, None, None, record.dst_regs)
         )

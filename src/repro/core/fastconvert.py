@@ -136,47 +136,66 @@ def _probe_convert(
     return encode_block(instrs)[8:], category, deltas
 
 
-def convert_blocks_to_bytes(
-    converter: "Converter",
-    source: Union[CvpTraceReader, Iterable[CvpRecord]],
-    block_size: int = 4096,
-) -> Iterator[bytes]:
-    """Yield one encoded ChampSim byte chunk per block of CVP records.
+class BlockConverter:
+    """Carried state for one fused block-conversion stream.
 
-    The concatenated chunks are byte-identical to encoding
-    ``converter.convert(source)`` record by record, and
-    ``converter.stats`` ends up equal as well.  Register state carries
-    across block boundaries exactly as the per-record reader does.
+    Owns the live register file, the per-stream source/destination memos,
+    and the static-memo hit accounting, so a caller can drive conversion
+    block by block — :func:`convert_blocks_to_bytes` for the plain fast
+    path, :mod:`repro.core.obsconvert` to interleave sampled per-record
+    profiling blocks between fused ones.  Register state carries across
+    :meth:`convert_block` calls exactly as the per-record reader does.
     """
-    reader = (
-        source if isinstance(source, CvpTraceReader) else CvpTraceReader(source)
-    )
-    improvements = converter.improvements
-    keep_all = Improvement.MEM_REGS in improvements
-    base_update = Improvement.BASE_UPDATE in improvements
-    footprint = Improvement.MEM_FOOTPRINT in improvements
-    want_inference = base_update or footprint
 
-    # Live register file, shared with the addressing inference; the hot
-    # loop writes its backing list directly.
-    registers = RegisterFile()
-    regvals = registers._values
+    def __init__(self, converter: "Converter"):
+        self.converter = converter
+        improvements = converter.improvements
+        self.keep_all = Improvement.MEM_REGS in improvements
+        self.base_update = Improvement.BASE_UPDATE in improvements
+        self.footprint = Improvement.MEM_FOOTPRINT in improvements
+        self.want_inference = self.base_update or self.footprint
 
-    static_memo = _static_memo
-    imp_bits = improvements.value
-    src_memo: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], int]] = {}
-    dst_memo: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], int, int, int]] = {}
+        # Live register file, shared with the addressing inference; the
+        # hot loop writes its backing list directly.
+        self.registers = RegisterFile()
 
-    pack = _STRUCT.pack
-    pack_ip = _PACK_IP
-    mask = _U64_MASK
-    stats = converter.stats
-    line_mask = ~(CACHELINE_SIZE - 1)
+        self.imp_bits = improvements.value
+        self.src_memo: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], int]] = {}
+        self.dst_memo: Dict[
+            Tuple[int, ...], Tuple[Tuple[int, ...], int, int, int]
+        ] = {}
 
-    for block in reader.blocks(block_size):
+        #: Static-memo probes (branch/register-only records) and misses,
+        #: kept here rather than in ConversionStats because they describe
+        #: the fast path's machinery, not the conversion semantics.
+        self.static_lookups = 0
+        self.static_misses = 0
+
+    def convert_block(self, block: List[CvpRecord]) -> bytes:
+        """Convert one block of records into an encoded ChampSim chunk."""
+        converter = self.converter
+        keep_all = self.keep_all
+        base_update = self.base_update
+        footprint = self.footprint
+        want_inference = self.want_inference
+        registers = self.registers
+        regvals = registers._values
+        static_memo = _static_memo
+        imp_bits = self.imp_bits
+        src_memo = self.src_memo
+        dst_memo = self.dst_memo
+
+        pack = _STRUCT.pack
+        pack_ip = _PACK_IP
+        mask = _U64_MASK
+        stats = converter.stats
+        line_mask = ~(CACHELINE_SIZE - 1)
+
         parts: List[bytes] = []
         append = parts.append
         n_out = 0
+        n_mem = 0
+        n_static_miss = 0
         counters = [0] * len(_DELTA_FIELDS)
         branch_counts: Dict[object, int] = {}
         base_updates_split = 0
@@ -190,6 +209,7 @@ def convert_blocks_to_bytes(
             dst_regs = rdict["dst_regs"]
             if _LOAD <= cls_value <= _STORE:
                 # ----------------------------------------- memory record
+                n_mem += 1
                 src_regs = rdict["src_regs"]
                 pc = rdict["pc"]
                 address = rdict["mem_address"] or 0
@@ -324,6 +344,7 @@ def convert_blocks_to_bytes(
                 key = (imp_bits, cls_value, rdict["src_regs"], dst_regs)
             hit = static_memo.get(key)
             if hit is None:
+                n_static_miss += 1
                 if len(static_memo) >= STATIC_MEMO_LIMIT:
                     static_memo.clear()
                 hit = _probe_convert(converter, record, registers)
@@ -355,4 +376,26 @@ def convert_blocks_to_bytes(
         stats.two_line_accesses += two_line_accesses
         stats.dc_zva_aligned += dc_zva_aligned
 
-        yield b"".join(parts)
+        self.static_lookups += len(block) - n_mem
+        self.static_misses += n_static_miss
+        return b"".join(parts)
+
+
+def convert_blocks_to_bytes(
+    converter: "Converter",
+    source: Union[CvpTraceReader, Iterable[CvpRecord]],
+    block_size: int = 4096,
+) -> Iterator[bytes]:
+    """Yield one encoded ChampSim byte chunk per block of CVP records.
+
+    The concatenated chunks are byte-identical to encoding
+    ``converter.convert(source)`` record by record, and
+    ``converter.stats`` ends up equal as well.  Register state carries
+    across block boundaries exactly as the per-record reader does.
+    """
+    reader = (
+        source if isinstance(source, CvpTraceReader) else CvpTraceReader(source)
+    )
+    block_converter = BlockConverter(converter)
+    for block in reader.blocks(block_size):
+        yield block_converter.convert_block(block)

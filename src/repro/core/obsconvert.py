@@ -1,0 +1,297 @@
+"""Observability-instrumented twin of the fused conversion fast path.
+
+:func:`convert_blocks_to_bytes_observed` produces byte-identical output
+and identical :class:`~repro.core.convert.ConversionStats` to
+:func:`repro.core.fastconvert.convert_blocks_to_bytes` (both paths are
+pinned equal by the differential tests), while attributing where convert
+time goes:
+
+- **Block decode** is measured exactly, by timing the reader's block
+  generator between yields.
+- **Transform + encode** is measured exactly per block (histogram +
+  running total).
+- **Per-improvement attribution** cannot be measured inside the fused
+  loop without wrecking its throughput, so it is *sampled*: every
+  :data:`PROFILE_SAMPLE_INTERVAL`-th block stages its first
+  :data:`PROFILE_CHUNK` records through a :class:`ProfilingConverter` —
+  the per-record converter with wall-timed improvement hooks — and the
+  rest of the block through the fused path.  The staged records' stage
+  fractions are then scaled to the whole transform time and emitted as
+  child spans marked ``estimated``.  Staging reuses the real per-record
+  code (same instance state rules as the fused loop), so sampled blocks
+  still produce identical bytes and stats.
+
+Wired in by :meth:`repro.core.convert.Converter.convert_to_bytes`
+whenever observability is enabled; the disabled path never imports this
+module.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Union
+
+from repro import obs
+from repro.champsim.trace import encode_block
+from repro.core.convert import _ALU_CLASSES, Converter
+from repro.core.fastconvert import BlockConverter
+from repro.core.improvements import Improvement
+from repro.cvp.reader import CvpTraceReader
+from repro.cvp.record import CvpRecord
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.cvp.addrmode import AddressingInfo
+    from repro.cvp.reader import RegisterFile
+
+#: Every Nth block stages a record prefix through the profiler.
+PROFILE_SAMPLE_INTERVAL = 4
+#: Records staged per sampled block.  The per-record profiling path is
+#: several times slower than the fused loop, and block 0 is always
+#: sampled, so this bounds the worst-case overhead on single-block
+#: streams while staying large enough that every improvement stage a
+#: short fixture exercises shows up in the attribution.  On real
+#: workloads (many 4096-record blocks) staged records amortise to
+#: ~0.2%; the CI gate holds obs-enabled throughput within 10% of
+#: disabled on a 20k-record trace.
+PROFILE_CHUNK = 32
+
+#: Stage keys, one per Table 1 improvement, plus encode.
+STAGE_KEYS = (
+    "call_stack",
+    "branch_regs",
+    "mem_regs",
+    "flag_reg",
+    "base_update",
+    "mem_footprint",
+    "encode",
+)
+
+#: Buckets sized for per-block transform times (seconds).
+_BLOCK_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 1.0,
+)
+
+
+class ProfilingConverter(Converter):
+    """Per-record converter whose improvement hooks are wall-timed.
+
+    Produces exactly the instructions and stats deltas of
+    :class:`Converter` (it *is* one), accumulating per-stage time into
+    :attr:`stage_time` on the side.
+    """
+
+    def __init__(self, improvements: Improvement):
+        super().__init__(improvements)
+        self.stage_time: Dict[str, float] = {key: 0.0 for key in STAGE_KEYS}
+
+    def _classify_branch(self, record: CvpRecord):
+        start = perf_counter()
+        try:
+            return super()._classify_branch(record)
+        finally:
+            self.stage_time["call_stack"] += perf_counter() - start
+
+    def _branch_sources(self, record: CvpRecord, mandatory, synthetic):
+        start = perf_counter()
+        try:
+            return super()._branch_sources(record, mandatory, synthetic)
+        finally:
+            self.stage_time["branch_regs"] += perf_counter() - start
+
+    def _final_destinations(self, record: CvpRecord, dst_regs):
+        # FLAG_REG governs destination-less ALU records; MEM_REGS governs
+        # everything else this hook decides.
+        key = (
+            "flag_reg"
+            if record.inst_class in _ALU_CLASSES and not record.dst_regs
+            else "mem_regs"
+        )
+        start = perf_counter()
+        try:
+            return super()._final_destinations(record, dst_regs)
+        finally:
+            self.stage_time[key] += perf_counter() - start
+
+    def _infer_addressing(
+        self, record: CvpRecord, registers: "RegisterFile"
+    ) -> "AddressingInfo":
+        start = perf_counter()
+        try:
+            return super()._infer_addressing(record, registers)
+        finally:
+            self.stage_time["base_update"] += perf_counter() - start
+
+    def _memory_addresses(self, record: CvpRecord, info, registers):
+        start = perf_counter()
+        try:
+            return super()._memory_addresses(record, info, registers)
+        finally:
+            self.stage_time["mem_footprint"] += perf_counter() - start
+
+
+def convert_blocks_to_bytes_observed(
+    converter: Converter,
+    source: Union[CvpTraceReader, Iterable[CvpRecord]],
+    block_size: int = 4096,
+) -> Iterator[bytes]:
+    """Instrumented :func:`~repro.core.fastconvert.convert_blocks_to_bytes`.
+
+    Same yielded bytes, same final ``converter.stats``; additionally
+    emits a ``convert.stream`` span with measured ``convert.block_decode``
+    and estimated per-improvement / encode children, plus record/block/
+    memo counters and a per-block transform-time histogram.
+    """
+    reader = (
+        source if isinstance(source, CvpTraceReader) else CvpTraceReader(source)
+    )
+    block_converter = BlockConverter(converter)
+    profiler = ProfilingConverter(converter.improvements)
+    # Share the stats object: staged records contribute the exact deltas
+    # the fused loop would have folded (pinned by the differential tests).
+    profiler.stats = converter.stats
+
+    records_total = obs.counter(
+        "repro_convert_records_total", "CVP records converted."
+    )
+    blocks_total = obs.counter(
+        "repro_convert_blocks_total", "Record blocks converted."
+    )
+    instrs_total = obs.counter(
+        "repro_convert_instructions_total", "ChampSim instructions emitted."
+    )
+    profiled_total = obs.counter(
+        "repro_convert_profiled_records_total",
+        "Records staged through the profiling converter.",
+    )
+    block_seconds = obs.histogram(
+        "repro_convert_block_seconds",
+        "Per-block transform+encode time.",
+        buckets=_BLOCK_BUCKETS,
+    )
+
+    want_inference = block_converter.want_inference
+    regvals = block_converter.registers._values
+    # The converter's stats accumulate across files; count this stream's
+    # contribution only.
+    instrs_at_start = converter.stats.instructions_out
+
+    with obs.span(
+        "convert.stream",
+        block_size=block_size,
+        improvements=converter.improvements.value,
+    ) as stream:
+        stream_start = perf_counter()
+        decode_time = 0.0
+        transform_time = 0.0
+        staged_time = 0.0
+        n_blocks = 0
+        n_records = 0
+        n_staged = 0
+
+        blocks = reader.blocks(block_size)
+        while True:
+            start = perf_counter()
+            block = next(blocks, None)
+            decode_time += perf_counter() - start
+            if block is None:
+                break
+
+            start = perf_counter()
+            if n_blocks % PROFILE_SAMPLE_INTERVAL == 0:
+                prefix, rest = block[:PROFILE_CHUNK], block[PROFILE_CHUNK:]
+                parts: List[bytes] = []
+                stats = converter.stats
+                registers = block_converter.registers
+                staged_instrs: List = []
+                for record in prefix:
+                    staged_instrs.extend(
+                        profiler.convert_record(record, registers)
+                    )
+                    if want_inference and record.dst_regs:
+                        for reg, value in zip(
+                            record.dst_regs, record.dst_values
+                        ):
+                            regvals[reg] = value
+                # One encode for the whole prefix: identical bytes to
+                # per-record encodes (fixed-size records), one timing.
+                encode_start = perf_counter()
+                parts.append(encode_block(staged_instrs))
+                profiler.stage_time["encode"] += perf_counter() - encode_start
+                stats.records_in += len(prefix)
+                stats.instructions_out += len(staged_instrs)
+                if rest:
+                    parts.append(block_converter.convert_block(rest))
+                chunk = b"".join(parts)
+                n_staged += len(prefix)
+                staged_time += perf_counter() - start
+            else:
+                chunk = block_converter.convert_block(block)
+            elapsed = perf_counter() - start
+            transform_time += elapsed
+            block_seconds.observe(elapsed)
+
+            n_blocks += 1
+            n_records += len(block)
+            yield chunk
+
+        # Exact decode measurement: its own child span.
+        obs.emit_child_span(
+            "convert.block_decode",
+            stream_start,
+            decode_time,
+            {"blocks": n_blocks},
+        )
+
+        # Sampled attribution: scale staged stage fractions to the whole
+        # transform time.  staged_total is the staged records' *own*
+        # wall time, so fractions survive the per-record-path slowdown.
+        staged_total = sum(profiler.stage_time.values())
+        overhead = staged_time - staged_total  # unhooked per-record glue
+        if staged_total > 0.0 and staged_time > 0.0:
+            scale = transform_time / staged_time
+            for key in STAGE_KEYS:
+                stage = profiler.stage_time[key]
+                if stage <= 0.0:
+                    continue
+                name = (
+                    "convert.encode"
+                    if key == "encode"
+                    else f"convert.improvement.{key}"
+                )
+                obs.emit_child_span(
+                    name,
+                    stream_start,
+                    stage * scale,
+                    {"estimated": True, "sampled_records": n_staged},
+                )
+            if overhead > 0.0:
+                obs.emit_child_span(
+                    "convert.transform_base",
+                    stream_start,
+                    overhead * scale,
+                    {"estimated": True, "sampled_records": n_staged},
+                )
+
+        stream.set(
+            blocks=n_blocks,
+            records=n_records,
+            transform_seconds=round(transform_time, 6),
+            decode_seconds=round(decode_time, 6),
+            profiled_records=n_staged,
+        )
+
+    records_total.inc(n_records)
+    blocks_total.inc(n_blocks)
+    instrs_total.inc(converter.stats.instructions_out - instrs_at_start)
+    profiled_total.inc(n_staged)
+
+    lookups = block_converter.static_lookups
+    hits = lookups - block_converter.static_misses
+    obs.counter(
+        "repro_convert_static_memo_lookups_total",
+        "Static-instruction memo probes.",
+    ).inc(lookups)
+    obs.counter(
+        "repro_convert_static_memo_hits_total",
+        "Static-instruction memo hits.",
+    ).inc(hits)

@@ -58,16 +58,27 @@ def convert_file(
     block); pass ``0`` to force the legacy record-at-a-time path.  Both
     paths produce byte-identical output and statistics.
     """
+    from repro import obs
+
     source = Path(source)
     destination = Path(destination)
     converter = Converter(improvements)
-    with CvpTraceReader(source) as reader:
-        with ChampSimTraceWriter(destination) as writer:
-            if block_size:
-                for chunk in converter.convert_to_bytes(reader, block_size):
-                    writer.write_encoded(chunk)
-            else:
-                writer.write_all(converter.convert(reader))
+    with obs.span(
+        "convert.file",
+        source=str(source),
+        improvements=improvements.value,
+    ) as file_span:
+        with CvpTraceReader(source) as reader:
+            with ChampSimTraceWriter(destination) as writer:
+                if block_size:
+                    for chunk in converter.convert_to_bytes(reader, block_size):
+                        writer.write_encoded(chunk)
+                else:
+                    writer.write_all(converter.convert(reader))
+        file_span.set(
+            records=converter.stats.records_in,
+            instructions=converter.stats.instructions_out,
+        )
     return ConversionResult(
         source=source,
         destination=destination,

@@ -213,20 +213,56 @@ def iter_record_blocks(
         raise ValueError(f"block_size must be >= 1, got {block_size}")
     tail = b""
     pending: List[CvpRecord] = []
-    while True:
-        chunk = stream.read(buffer_size)
-        if not chunk:
-            if tail:
-                _raise_truncated(tail)
-            break
-        data = tail + chunk if tail else chunk
-        consumed = _decode_available(data, pending)
-        tail = data[consumed:]
-        while len(pending) >= block_size:
-            yield pending[:block_size]
-            del pending[:block_size]
-    if pending:
-        yield pending
+    bytes_read = 0
+    blocks_out = 0
+    try:
+        while True:
+            chunk = stream.read(buffer_size)
+            if not chunk:
+                if tail:
+                    _emit_truncation("cvp", len(tail))
+                    _raise_truncated(tail)
+                break
+            bytes_read += len(chunk)
+            data = tail + chunk if tail else chunk
+            consumed = _decode_available(data, pending)
+            tail = data[consumed:]
+            while len(pending) >= block_size:
+                blocks_out += 1
+                yield pending[:block_size]
+                del pending[:block_size]
+        if pending:
+            blocks_out += 1
+            yield pending
+    finally:
+        # Flushed once per stream (including on abandonment), so the
+        # decode loop itself carries no instrumentation.
+        if bytes_read or blocks_out:
+            from repro.obs import state as _obs_state
+
+            if _obs_state.enabled():
+                from repro.obs import counter
+
+                counter(
+                    "repro_trace_bytes_read_total",
+                    "Decompressed trace bytes read, by format.",
+                ).labels(format="cvp").inc(bytes_read)
+                counter(
+                    "repro_trace_blocks_read_total",
+                    "Record blocks decoded, by format.",
+                ).labels(format="cvp").inc(blocks_out)
+
+
+def _emit_truncation(fmt: str, trailing_bytes: int) -> None:
+    """Record a truncated-trace event before raising the format error."""
+    from repro.obs import state as _obs_state
+
+    if _obs_state.enabled():
+        from repro.obs import emit_event
+
+        emit_event(
+            "trace.truncated", {"format": fmt, "trailing_bytes": trailing_bytes}
+        )
 
 
 def encode_block(records: List[CvpRecord]) -> bytes:

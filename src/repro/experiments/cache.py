@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional, Union
 from repro.champsim.branch_info import BranchRules, BranchType
 from repro.core.convert import ConversionStats
 from repro.core.improvements import Improvement
+from repro.obs.instruments import CacheCounters, InstrumentedCache
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
 from repro.synth.generator import GENERATOR_VERSION
@@ -207,18 +208,17 @@ def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
 # ----------------------------------------------------------------------
 
 
-class ResultCache:
-    """On-disk store of :class:`RunResult` payloads, with hit counters."""
+class ResultCache(InstrumentedCache):
+    """On-disk store of :class:`RunResult` payloads, with hit counters.
+
+    Counter note: failed writes (unwritable/full cache dir) are counted
+    as ``store_errors``, never raised — the cache is an optimisation and
+    a sweep must survive a broken cache directory.
+    """
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        #: Failed writes (unwritable/full cache dir).  The cache is an
-        #: optimisation: a sweep must survive a broken cache directory,
-        #: so store errors are counted and reported, never raised.
-        self.store_errors = 0
+        self.counters = CacheCounters("result")
 
     def _path(self, key: str) -> Path:
         return self.root / "runs" / key[:2] / f"{key}.json"
@@ -236,9 +236,9 @@ class ResultCache:
                 raise ValueError("schema mismatch")
             result = run_result_from_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+            self.counters.miss()
             return None
-        self.hits += 1
+        self.counters.hit()
         return result
 
     def store(self, key: str, result: "RunResult") -> None:  # noqa: F821
@@ -246,9 +246,9 @@ class ResultCache:
         try:
             _atomic_write_json(self._path(key), payload)
         except OSError:
-            self.store_errors += 1
+            self.counters.store_error()
             return
-        self.stores += 1
+        self.counters.store()
 
     def describe(self) -> str:
         """Counter summary for CLI/CI reporting."""
@@ -256,7 +256,7 @@ class ResultCache:
             f" store_errors={self.store_errors}" if self.store_errors else ""
         )
         return (
-            f"hits={self.hits} misses={self.misses} stores={self.stores}"
+            f"{self.counters.describe_hit_miss()} stores={self.stores}"
             f"{errors} dir={self.root}"
         )
 
@@ -273,8 +273,7 @@ class ConversionCache:
 
     def __init__(self, output_dir: Union[str, Path]):
         self.output_dir = Path(output_dir)
-        self.hits = 0
-        self.misses = 0
+        self.counters = CacheCounters("conversion")
 
     def _sidecar(self, name: str) -> Path:
         return self.output_dir / f"{name}.convstats.json"
@@ -299,9 +298,9 @@ class ConversionCache:
                 stats=conversion_stats_from_dict(payload["stats"]),
             )
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+            self.counters.miss()
             return None
-        self.hits += 1
+        self.counters.hit()
         return result
 
     def store(self, name: str, key: str, result: "ConversionResult") -> None:  # noqa: F821
@@ -316,6 +315,7 @@ class ConversionCache:
             "output_digest": file_digest(result.destination),
         }
         _atomic_write_json(self._sidecar(name), payload)
+        self.counters.store()
 
     def describe(self) -> str:
-        return f"hits={self.hits} misses={self.misses} dir={self.output_dir}"
+        return f"{self.counters.describe_hit_miss()} dir={self.output_dir}"

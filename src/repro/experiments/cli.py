@@ -13,9 +13,11 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.experiments import ablation, figures, report, tables
 from repro.experiments.parallel import TaskFailure
 from repro.experiments.runner import ExperimentRunner
+from repro.obs import logutil
 
 _EXPERIMENTS = ("fig1", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3")
 _ABLATIONS = ("ablation-frontend", "ablation-overlap", "ablation-prf")
@@ -62,6 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk result cache",
     )
+    obs.add_obs_flags(parser)
+    logutil.add_logging_flags(parser)
     return parser
 
 
@@ -98,6 +102,8 @@ def run_experiment(name: str, runner: ExperimentRunner) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logutil.configure_from_args(args)
+    obs.setup_cli("repro-experiment", args)
     cache = None
     if not args.no_cache:
         from repro.experiments.cache import ResultCache

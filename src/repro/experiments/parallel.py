@@ -23,6 +23,7 @@ machinery for on-disk conversions.
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import os
 import traceback
 from dataclasses import dataclass
@@ -59,6 +60,42 @@ def _task_label(task: Any) -> str:
     return getattr(task, "name", None) or repr(task)
 
 
+def _task_fingerprint(task: Any) -> str:
+    """Stable content hash identifying a task across retries and runs.
+
+    For :class:`RunTask` this is the cache key of the run it requests
+    (so a ``task.failed`` event can be joined against cache entries and
+    result files); other task types hash their dataclass repr.
+    """
+    if isinstance(task, RunTask):
+        from repro.experiments.cache import run_key
+
+        return run_key(
+            task.name, task.improvements, task.config, task.instructions
+        )
+    return hashlib.sha256(repr(task).encode("utf-8")).hexdigest()
+
+
+def _emit_task_event(
+    name: str, task: Any, tb: str, attempt: int, attempts_left: int
+) -> None:
+    """Structured ``task.retry``/``task.failed`` event (no-op when off)."""
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    obs.emit_event(
+        name,
+        {
+            "task": _task_label(task),
+            "fingerprint": _task_fingerprint(task),
+            "attempt": attempt,
+            "attempts_left": attempts_left,
+            "traceback": tb,
+        },
+    )
+
+
 def default_jobs() -> int:
     """All cores (the sweeps are CPU-bound pure Python)."""
     return max(1, os.cpu_count() or 1)
@@ -85,17 +122,48 @@ def execute_task(task: RunTask) -> "RunResult":  # noqa: F821
     return runner.run(task.name, task.improvements, task.config)
 
 
-def _guarded(task_fn: Callable[[Any], Any], task: Any) -> Tuple[str, Any]:
+def _guarded(
+    task_fn: Callable[[Any], Any], task: Any, collect_obs: bool = False
+) -> Tuple[str, Any, Optional[Dict[str, Any]]]:
     """Run ``task_fn`` capturing any exception as a value.
 
     Exceptions must not cross the process boundary raw: an unpicklable
     exception would poison the pool, and a raised one would abort the
     whole batch instead of surfacing as a per-trace error.
+
+    With ``collect_obs`` (the pool path) the worker's metrics registry is
+    collected-and-reset per task and shipped back as the third element,
+    so the parent folds worker counters into its own registry and the
+    final snapshot covers the whole batch.  Inline callers pass
+    ``collect_obs=False``: their increments already land in the caller's
+    registry.
     """
     try:
-        return ("ok", task_fn(task))
+        status, value = "ok", task_fn(task)
     except Exception:
-        return ("error", traceback.format_exc())
+        status, value = "error", traceback.format_exc()
+    snapshot: Optional[Dict[str, Any]] = None
+    if collect_obs:
+        from repro.obs import metrics, state
+
+        if state.enabled():
+            snap = metrics.registry().collect(reset=True)
+            if snap["counters"] or snap["gauges"] or snap["histograms"]:
+                snapshot = snap
+    return (status, value, snapshot)
+
+
+def _pool_worker_init() -> None:
+    """Fresh obs state per worker process.
+
+    With the ``fork`` start method a worker inherits the parent's live
+    registry values; left alone they would be collected and merged back,
+    double-counting everything recorded before the pool started.
+    """
+    from repro.obs import metrics, state
+
+    state.refresh()
+    metrics.registry().reset()
 
 
 def run_tasks(
@@ -118,19 +186,30 @@ def run_tasks(
     if jobs <= 1 or len(tasks) <= 1:
         for index, task in enumerate(tasks):
             for attempt in range(1 + retries):
-                status, value = _guarded(task_fn, task)
+                status, value, _ = _guarded(task_fn, task)
                 if status == "ok":
                     results[index] = value
                     break
+                attempts_left = retries - attempt
+                _emit_task_event(
+                    "task.retry" if attempts_left else "task.failed",
+                    task,
+                    value,
+                    attempt + 1,
+                    attempts_left,
+                )
             if status == "error":
                 failures.append((task, value))
     else:
+        from repro.obs import metrics
+
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(jobs, len(tasks))
+            max_workers=min(jobs, len(tasks)),
+            initializer=_pool_worker_init,
         ) as pool:
             attempts = {index: 1 + retries for index in range(len(tasks))}
             pending = {
-                pool.submit(_guarded, task_fn, task): index
+                pool.submit(_guarded, task_fn, task, True): index
                 for index, task in enumerate(tasks)
             }
             while pending:
@@ -139,13 +218,25 @@ def run_tasks(
                 )
                 for future in done:
                     index = pending.pop(future)
-                    status, value = future.result()
+                    status, value, snapshot = future.result()
+                    if snapshot is not None:
+                        metrics.registry().merge(snapshot)
                     if status == "ok":
                         results[index] = value
                         continue
                     attempts[index] -= 1
+                    attempt = 1 + retries - attempts[index]
+                    _emit_task_event(
+                        "task.retry" if attempts[index] else "task.failed",
+                        tasks[index],
+                        value,
+                        attempt,
+                        attempts[index],
+                    )
                     if attempts[index] > 0:
-                        retry = pool.submit(_guarded, task_fn, tasks[index])
+                        retry = pool.submit(
+                            _guarded, task_fn, tasks[index], True
+                        )
                         pending[retry] = index
                     else:
                         failures.append((tasks[index], value))

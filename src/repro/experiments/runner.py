@@ -138,10 +138,26 @@ class ExperimentRunner:
         self, name: str, improvements: Improvement, config: SimConfig
     ) -> RunResult:
         """Convert + simulate, unconditionally (no memo, no cache)."""
-        converter = Converter(improvements)
-        instrs = list(converter.convert(self.trace(name)))
-        stats = Simulator(config).run(instrs, converter.required_branch_rules)
-        self.simulations += 1
+        from repro import obs
+
+        with obs.span(
+            "experiment.run",
+            trace=name,
+            improvements=improvements.value,
+            config=config.name,
+        ) as run_span:
+            converter = Converter(improvements)
+            instrs = list(converter.convert(self.trace(name)))
+            stats = Simulator(config).run(
+                instrs, converter.required_branch_rules
+            )
+            self.simulations += 1
+            run_span.set(instructions=stats.instructions, ipc=stats.ipc)
+        if obs.enabled():
+            obs.counter(
+                "repro_experiment_runs_total",
+                "Convert+simulate executions actually performed.",
+            ).inc()
         return RunResult(
             trace=name,
             improvements=improvements,

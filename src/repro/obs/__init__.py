@@ -1,0 +1,193 @@
+"""repro.obs — metrics, span tracing, and structured event logs.
+
+Off by default: every instrument collapses to a cheap no-op unless the
+``REPRO_OBS`` environment variable is truthy or a CLI was run with
+``--obs``.  When on, instrumented code records into a process-local
+:class:`~repro.obs.metrics.MetricsRegistry` and emits spans/events to a
+schema-versioned JSONL log (:mod:`repro.obs.events`); ``repro-obs
+summarize`` turns one run's log family into a span tree with attributed
+times, counter totals, and histogram percentiles.
+
+Typical instrumentation::
+
+    from repro import obs
+
+    with obs.span("convert.file", path=str(source)) as sp:
+        blocks = do_work()
+        sp.set(blocks=blocks)
+    obs.counter("repro_convert_blocks_total").inc(blocks)
+
+Lifecycle: a CLI calls :func:`setup_cli` once (honouring ``--obs`` or the
+environment); :func:`finalize` runs at exit, flushing a final metrics
+snapshot into the event log and, if configured, a Prometheus textfile.
+Worker processes spawned by :mod:`repro.experiments.parallel` inherit the
+environment, write per-worker sibling logs, and hand their registry
+snapshots back to the parent after each task.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs import events, metrics, promfile, state
+from repro.obs.instruments import CacheCounters
+from repro.obs.logutil import (
+    add_logging_flags,
+    configure_from_args,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    registry,
+)
+from repro.obs.spans import current_span_id, emit_child_span, span
+
+__all__ = [
+    "CacheCounters",
+    "MetricsRegistry",
+    "add_logging_flags",
+    "add_obs_flags",
+    "configure",
+    "configure_from_args",
+    "configure_logging",
+    "counter",
+    "current_span_id",
+    "emit_child_span",
+    "emit_event",
+    "enabled",
+    "finalize",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "registry",
+    "setup_cli",
+    "span",
+]
+
+enabled = state.enabled
+emit_event = events.emit_event
+
+_finalize_registered = False
+_finalized = False
+
+
+def configure(
+    log: Optional[Union[str, Path]] = None,
+    prom: Optional[Union[str, Path]] = None,
+    program: Optional[str] = None,
+) -> None:
+    """Enable observability for this process and its future workers.
+
+    Writes the configuration into the environment so pool workers
+    inherit it, marks this process as the main one (workers derive
+    per-worker log files from the PID mismatch), and registers
+    :func:`finalize` to run at exit.
+    """
+    global _finalize_registered, _finalized
+    _finalized = False
+    if log is not None:
+        os.environ[state.LOG_ENV] = str(log)
+    if prom is not None:
+        os.environ[state.PROM_ENV] = str(prom)
+    if program is not None:
+        os.environ[state.PROGRAM_ENV] = program
+    os.environ[state.MAIN_PID_ENV] = str(os.getpid())
+    state.set_enabled(True)
+    events.reset_sink()
+    if not _finalize_registered:
+        atexit.register(finalize)
+        _finalize_registered = True
+
+
+def finalize() -> None:
+    """Flush a final metrics snapshot to the sinks (idempotent).
+
+    Appends one ``metrics`` event to the log, rewrites the Prometheus
+    textfile if ``REPRO_OBS_PROM`` is set, and closes the sink.  A later
+    emit in the same process reopens the log in append mode, so calling
+    this early never truncates anything.  Calling it again without an
+    intervening :func:`configure` is a no-op — an explicit call plus the
+    ``atexit`` hook must not write the snapshot twice (the summariser
+    would still dedupe to the last one, but the log should stay clean).
+    """
+    global _finalized
+    if not state.enabled() or _finalized:
+        return
+    _finalized = True
+    snapshot = registry().snapshot()
+    has_data = any(
+        snapshot[kind] for kind in ("counters", "gauges", "histograms")
+    )
+    if has_data:
+        events.emit_metrics(snapshot)
+        prom_path = os.environ.get(state.PROM_ENV)
+        if prom_path:
+            try:
+                promfile.write_textfile(prom_path, snapshot)
+            except OSError:  # pragma: no cover - defensive
+                get_logger("obs").warning(
+                    "could not write Prometheus textfile %s", prom_path
+                )
+    events.close_sink()
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+#: Default event-log file when ``--obs`` is passed without ``--obs-log``.
+DEFAULT_LOG_NAME = "repro-obs.jsonl"
+
+
+def add_obs_flags(parser: Any) -> None:
+    """Attach ``--obs``/``--obs-log``/``--obs-prom`` to a CLI parser."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable metrics/span collection (also: REPRO_OBS=1)",
+    )
+    group.add_argument(
+        "--obs-log",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"JSONL event-log path (default: ./{DEFAULT_LOG_NAME})",
+    )
+    group.add_argument(
+        "--obs-prom",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write a Prometheus textfile at exit",
+    )
+
+
+def setup_cli(program: str, args: Any) -> Optional[Path]:
+    """Configure obs for a CLI run; returns the log path when enabled.
+
+    Enabled by ``--obs`` or by ``REPRO_OBS`` in the environment.  In a
+    worker process (spawned by an already-configured parent) this is a
+    no-op — the parent owns the configuration.
+    """
+    flag = bool(getattr(args, "obs", False))
+    if not flag and not state.enabled():
+        return None
+    if state.is_worker():
+        return None
+    log = getattr(args, "obs_log", None) or state.log_path()
+    if log is None:
+        log = Path.cwd() / DEFAULT_LOG_NAME
+    configure(
+        log=log,
+        prom=getattr(args, "obs_prom", None),
+        program=program,
+    )
+    return Path(log)

@@ -1,0 +1,94 @@
+"""``repro-obs`` — inspect JSONL observability logs.
+
+``repro-obs summarize run.jsonl`` aggregates the log (and, by default,
+its per-worker ``run.w<pid>.jsonl`` siblings) into a span tree with
+self/total times, top counters, histogram percentiles and event counts —
+in text or, with ``--json``, as one machine-readable object.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.obs import logutil
+from repro.obs.events import ObsLogError, sibling_log_paths
+from repro.obs.summarize import aggregate_logs, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Summarize repro observability event logs.",
+    )
+    logutil.add_logging_flags(parser)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="aggregate one or more JSONL event logs"
+    )
+    summarize.add_argument(
+        "logs",
+        nargs="+",
+        type=Path,
+        help="event-log file(s); per-worker siblings are included "
+        "automatically unless --no-workers",
+    )
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregated summary as JSON",
+    )
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="rows per section in text output (default: %(default)s)",
+    )
+    summarize.add_argument(
+        "--no-workers",
+        action="store_true",
+        help="summarize only the named files, not worker siblings",
+    )
+    return parser
+
+
+def _expand(paths: Sequence[Path], include_workers: bool) -> List[Path]:
+    out: List[Path] = []
+    for path in paths:
+        family = sibling_log_paths(path) if include_workers else [path]
+        for member in family:
+            if member not in out:
+                out.append(member)
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    logutil.configure_from_args(args)
+
+    logs = _expand(args.logs, include_workers=not args.no_workers)
+    missing = [p for p in logs if not p.is_file()]
+    if missing:
+        for path in missing:
+            print(f"repro-obs: no such log: {path}", file=sys.stderr)
+        return 2
+    try:
+        summary = aggregate_logs(logs)
+    except ObsLogError as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_text(summary, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

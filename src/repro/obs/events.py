@@ -1,0 +1,240 @@
+"""Schema-versioned JSONL event log: one JSON object per line.
+
+Every log file begins with a ``meta`` line carrying the schema version;
+the remaining lines are ``span``, ``event`` and ``metrics`` records (see
+:data:`OBS_SCHEMA`).  A process appends to exactly one file: the process
+that configured observability writes the configured path, every other
+process (a :mod:`repro.experiments.parallel` worker) writes a
+``<stem>.w<pid>.jsonl`` sibling, so concurrent workers never interleave
+within a file.  ``repro-obs`` re-aggregates the family of files.
+
+Emission never raises into instrumented code: an unopenable sink turns
+the emitters into no-ops (counted nowhere — observability must not take
+the pipeline down), and non-JSON attr values fall back to ``str``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Set, Union
+
+from repro.obs import state
+
+#: Event-log layout version; readers reject logs from a newer schema.
+OBS_SCHEMA = 1
+
+
+class ObsLogError(ValueError):
+    """An event log that cannot be parsed (bad JSON, newer schema)."""
+
+
+def worker_log_path(path: Union[str, Path], pid: int) -> Path:
+    """Sibling log file for a worker process (``run.jsonl`` -> ``run.w7.jsonl``)."""
+    path = Path(path)
+    if path.suffix:
+        return path.with_name(f"{path.stem}.w{pid}{path.suffix}")
+    return path.with_name(f"{path.name}.w{pid}")
+
+
+def sibling_log_paths(path: Union[str, Path]) -> List[Path]:
+    """The log file plus every per-worker sibling that exists on disk."""
+    path = Path(path)
+    out = [path]
+    if path.suffix:
+        pattern = f"{path.stem}.w*{path.suffix}"
+    else:
+        pattern = f"{path.name}.w*"
+    out.extend(sorted(p for p in path.parent.glob(pattern) if p != path))
+    return out
+
+
+class EventLog:
+    """Append-only JSONL writer for one process."""
+
+    def __init__(self, path: Union[str, Path], mode: str = "w"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Line buffering: every event is flushed as one line, so a
+        # crashed process leaves a readable log and forked children
+        # never inherit buffered parent bytes.
+        self._fh = open(self.path, mode, buffering=1, encoding="utf-8")
+        if mode == "w":
+            self.write(
+                {
+                    "type": "meta",
+                    "schema": OBS_SCHEMA,
+                    "pid": os.getpid(),
+                    "time": time.time(),
+                    "program": os.environ.get(state.PROGRAM_ENV)
+                    or Path(sys.argv[0]).name,
+                }
+            )
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        try:
+            line = json.dumps(payload, separators=(",", ":"))
+        except (TypeError, ValueError):
+            line = json.dumps(payload, separators=(",", ":"), default=str)
+        self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+# ----------------------------------------------------------------------
+# the process-wide sink
+# ----------------------------------------------------------------------
+
+_sink: Optional[EventLog] = None
+_sink_pid: Optional[int] = None
+_sink_failed = False
+#: Paths this process already opened (reopen appends, never truncates).
+_opened: Set[str] = set()
+
+
+def get_sink() -> Optional[EventLog]:
+    """The process's event log (lazily opened), or None.
+
+    Detects fork inheritance by PID: a child process inheriting the
+    parent's module state drops the inherited handle (without flushing
+    or closing it — it is the parent's) and opens its own worker file.
+    """
+    global _sink, _sink_pid, _sink_failed
+    if not state.enabled():
+        return None
+    pid = os.getpid()
+    if _sink is not None and _sink_pid == pid:
+        return _sink
+    if _sink_failed and _sink_pid == pid:
+        return None
+    _sink = None
+    path = state.log_path()
+    if path is None:
+        _sink_pid = pid
+        _sink_failed = True
+        return None
+    if state.is_worker():
+        path = str(worker_log_path(path, pid))
+    mode = "a" if path in _opened else "w"
+    try:
+        _sink = EventLog(path, mode)
+    except OSError:
+        _sink_pid = pid
+        _sink_failed = True
+        return None
+    _opened.add(path)
+    _sink_pid = pid
+    _sink_failed = False
+    return _sink
+
+
+def reset_sink() -> None:
+    """Close and forget the current sink (reconfiguration, tests)."""
+    global _sink, _sink_pid, _sink_failed
+    if _sink is not None and _sink_pid == os.getpid():
+        _sink.close()
+    _sink = None
+    _sink_pid = None
+    _sink_failed = False
+    _opened.clear()
+
+
+def close_sink() -> None:
+    """Close the sink; a later emit in this process reopens in append mode."""
+    global _sink
+    if _sink is not None and _sink_pid == os.getpid():
+        _sink.close()
+    _sink = None
+
+
+# ----------------------------------------------------------------------
+# emitters
+# ----------------------------------------------------------------------
+
+
+def emit_span(
+    name: str,
+    start: float,
+    duration: float,
+    span_id: int,
+    parent_id: Optional[int],
+    attrs: Optional[Dict[str, Any]] = None,
+) -> None:
+    sink = get_sink()
+    if sink is None:
+        return
+    payload: Dict[str, Any] = {
+        "type": "span",
+        "name": name,
+        "id": span_id,
+        "start": start,
+        "dur": duration,
+    }
+    if parent_id is not None:
+        payload["parent"] = parent_id
+    if attrs:
+        payload["attrs"] = attrs
+    sink.write(payload)
+
+
+def emit_event(name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+    sink = get_sink()
+    if sink is None:
+        return
+    payload: Dict[str, Any] = {
+        "type": "event",
+        "name": name,
+        "time": time.time(),
+    }
+    if attrs:
+        payload["attrs"] = attrs
+    sink.write(payload)
+
+
+def emit_metrics(snapshot: Dict[str, Any]) -> None:
+    sink = get_sink()
+    if sink is None:
+        return
+    sink.write({"type": "metrics", "time": time.time(), "snapshot": snapshot})
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+
+def iter_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield every event in one log file, validating the schema.
+
+    Raises :class:`ObsLogError` on malformed JSON or a ``meta`` line
+    from a newer schema than this reader understands.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as exc:
+                raise ObsLogError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            if not isinstance(payload, dict):
+                raise ObsLogError(f"{path}:{lineno}: event is not an object")
+            if payload.get("type") == "meta":
+                schema = payload.get("schema")
+                if not isinstance(schema, int) or schema > OBS_SCHEMA:
+                    raise ObsLogError(
+                        f"{path}:{lineno}: schema {schema!r} is newer than "
+                        f"supported schema {OBS_SCHEMA}"
+                    )
+            yield payload

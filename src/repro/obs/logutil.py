@@ -1,0 +1,95 @@
+"""Shared ``logging`` setup for the repro CLIs.
+
+Every module logs under the ``repro.<pkg>`` hierarchy
+(``logging.getLogger("repro.core")`` etc.); the CLIs call
+:func:`configure_logging` with the net of ``--verbose``/``--quiet``
+occurrences.  The default level is WARNING, so CLI stdout stays exactly
+what the golden-output tests expect unless the user asks for more.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+from typing import Optional
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+#: Net verbosity -> level. verbose raises, quiet lowers.
+_LEVELS = {
+    -2: logging.CRITICAL,
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``get_logger("core")``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--verbose``/``--quiet`` counters to a CLI parser.
+
+    ``--quiet`` is long-form only: several CLIs already bind short flags
+    (and ``repro-convert -v`` predates this module, so ``--verbose``
+    reuses its dest — counting occurrences keeps its old truthy meaning).
+    """
+    group = parser.add_argument_group("logging")
+    if not any(
+        action.dest == "verbose" for action in parser._actions
+    ):  # pragma: no branch
+        group.add_argument(
+            "-v",
+            "--verbose",
+            action="count",
+            default=0,
+            help="increase log verbosity (repeatable: -v INFO, -vv DEBUG)",
+        )
+    group.add_argument(
+        "--quiet",
+        action="count",
+        default=0,
+        help="decrease log verbosity (repeatable)",
+    )
+
+
+def configure_logging(
+    verbose: int = 0, quiet: int = 0, logger_name: str = "repro"
+) -> int:
+    """Set the ``repro`` root logger level from flag counts; returns it."""
+    net = max(-2, min(2, int(verbose) - int(quiet)))
+    level = _LEVELS[net]
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(level)
+    if not _has_handler(logger):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+        # The repro hierarchy owns its output; don't duplicate through
+        # the root logger if an application configured it.
+        logger.propagate = False
+    return level
+
+
+def _has_handler(logger: logging.Logger) -> bool:
+    return any(
+        isinstance(h, logging.StreamHandler) for h in logger.handlers
+    )
+
+
+def configure_from_args(
+    args: argparse.Namespace, logger_name: str = "repro"
+) -> Optional[int]:
+    """Configure from parsed args if the logging flags are present."""
+    verbose = getattr(args, "verbose", None)
+    quiet = getattr(args, "quiet", None)
+    if verbose is None and quiet is None:
+        return None
+    return configure_logging(
+        int(verbose or 0), int(quiet or 0), logger_name
+    )

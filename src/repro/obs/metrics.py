@@ -1,0 +1,371 @@
+"""Process-local metrics: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per process (module-level ``registry()``),
+holding named metric *families*; a family with labels hands out one
+child per distinct label set (``family.labels(kind="result")``) and a
+family used without labels is its own unlabeled child.  All mutation is
+guarded by one registry lock — increments happen at file/block/task
+granularity, never per record, so a single coarse lock is plenty.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-safe dicts,
+picklable across process boundaries: :mod:`repro.experiments.parallel`
+workers collect-and-reset their registry after each task and ship the
+snapshot back for the parent to :meth:`~MetricsRegistry.merge`, so a
+fanned-out sweep ends with one registry describing the whole run.
+
+Histograms use fixed, per-family bucket boundaries (upper bounds, in
+whatever unit the metric observes — the defaults suit seconds).
+Percentiles are estimated from the bucket counts, which keeps snapshots
+tiny and merges exact.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Snapshot payload layout version (folded into event logs).
+SNAPSHOT_SCHEMA = 1
+
+#: Default histogram bucket upper bounds (seconds-flavoured).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("labels_kv", "_value", "_lock")
+
+    def __init__(self, labels_kv: LabelItems, lock: threading.Lock):
+        self.labels_kv = labels_kv
+        self._value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("labels_kv", "_value", "_lock")
+
+    def __init__(self, labels_kv: LabelItems, lock: threading.Lock):
+        self.labels_kv = labels_kv
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (counts per bucket + sum + count).
+
+    ``bounds`` are inclusive upper bounds; one extra overflow bucket
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("labels_kv", "bounds", "counts", "total", "count", "_lock")
+
+    def __init__(
+        self,
+        labels_kv: LabelItems,
+        bounds: Sequence[float],
+        lock: threading.Lock,
+    ):
+        self.labels_kv = labels_kv
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.total += value
+            self.count += 1
+
+    def percentile(self, p: float) -> float:
+        """Estimated p-th percentile (0..100) from the bucket counts."""
+        return histogram_percentile(
+            {"bounds": self.bounds, "counts": self.counts, "count": self.count},
+            p,
+        )
+
+
+def histogram_percentile(entry: Dict[str, Any], p: float) -> float:
+    """Percentile estimate from a snapshot histogram entry.
+
+    Returns the upper bound of the bucket containing the p-th
+    observation (the last finite bound for the overflow bucket, 0.0 for
+    an empty histogram) — a deliberately simple, merge-stable estimate.
+    """
+    count = entry["count"]
+    if count <= 0:
+        return 0.0
+    bounds = entry["bounds"]
+    rank = max(1, int(round(p / 100.0 * count)))
+    seen = 0
+    for index, bucket_count in enumerate(entry["counts"]):
+        seen += bucket_count
+        if seen >= rank:
+            if index < len(bounds):
+                return float(bounds[index])
+            return float(bounds[-1]) if bounds else 0.0
+    return float(bounds[-1]) if bounds else 0.0
+
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class _Family:
+    """One named metric plus its per-label-set children."""
+
+    __slots__ = ("kind", "name", "help", "buckets", "_children", "_lock")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.kind = kind
+        self.name = name
+        self.help = help_text
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[LabelItems, Any] = {}
+        self._lock = lock
+
+    def labels(self, **labels: Any) -> Any:
+        key = _label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "counter":
+                    child = Counter(key, self._lock)
+                elif self.kind == "gauge":
+                    child = Gauge(key, self._lock)
+                else:
+                    child = Histogram(
+                        key, self.buckets or DEFAULT_BUCKETS, self._lock
+                    )
+                self._children[key] = child
+        return child
+
+    # Unlabeled convenience: the family proxies its ()-labeled child.
+    def inc(self, amount: Any = 1) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    @property
+    def value(self) -> Any:
+        return self.labels().value
+
+    def children(self) -> List[Any]:
+        with self._lock:
+            return list(self._children.values())
+
+
+class MetricsRegistry:
+    """Named metric families with snapshot/merge/reset."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _family(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind, name, help_text, self._lock, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"not {kind}"
+                )
+        return family
+
+    def counter(self, name: str, help: str = "") -> _Family:
+        return self._family("counter", name, help)
+
+    def gauge(self, name: str, help: str = "") -> _Family:
+        return self._family("gauge", name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        return self._family("histogram", name, help, buckets)
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return list(self._families.values())
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe, picklable copy of every metric value."""
+        counters: List[Dict[str, Any]] = []
+        gauges: List[Dict[str, Any]] = []
+        histograms: List[Dict[str, Any]] = []
+        with self._lock:
+            for family in self._families.values():
+                for child in family._children.values():
+                    labels = {k: v for k, v in child.labels_kv}
+                    if family.kind == "counter":
+                        counters.append(
+                            {
+                                "name": family.name,
+                                "labels": labels,
+                                "value": child.value,
+                            }
+                        )
+                    elif family.kind == "gauge":
+                        gauges.append(
+                            {
+                                "name": family.name,
+                                "labels": labels,
+                                "value": child.value,
+                            }
+                        )
+                    else:
+                        histograms.append(
+                            {
+                                "name": family.name,
+                                "labels": labels,
+                                "bounds": list(child.bounds),
+                                "counts": list(child.counts),
+                                "sum": child.total,
+                                "count": child.count,
+                            }
+                        )
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def collect(self, reset: bool = False) -> Dict[str, Any]:
+        """Snapshot, optionally resetting afterwards (worker hand-off)."""
+        snap = self.snapshot()
+        if reset:
+            self.reset()
+        return snap
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one snapshot into the live registry.
+
+        Counters and histograms add; gauges take the snapshot's value
+        (last write wins).  Histogram bucket bounds must match the live
+        family's bounds.
+        """
+        if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"snapshot schema {snapshot.get('schema')!r} != "
+                f"{SNAPSHOT_SCHEMA}"
+            )
+        for entry in snapshot.get("counters", ()):
+            if entry["value"]:
+                self.counter(entry["name"]).labels(**entry["labels"]).inc(
+                    entry["value"]
+                )
+        for entry in snapshot.get("gauges", ()):
+            self.gauge(entry["name"]).labels(**entry["labels"]).set(
+                entry["value"]
+            )
+        for entry in snapshot.get("histograms", ()):
+            child = self.histogram(
+                entry["name"], buckets=entry["bounds"]
+            ).labels(**entry["labels"])
+            if list(child.bounds) != list(entry["bounds"]):
+                raise ValueError(
+                    f"histogram {entry['name']!r} bucket bounds mismatch"
+                )
+            with self._lock:
+                for index, bucket_count in enumerate(entry["counts"]):
+                    child.counts[index] += bucket_count
+                child.total += entry["sum"]
+                child.count += entry["count"]
+
+    def reset(self) -> None:
+        """Forget every family and value."""
+        with self._lock:
+            self._families.clear()
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge snapshot dicts into one (used by ``repro-obs`` aggregation)."""
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge(snap)
+    return merged.snapshot()
+
+
+#: The process-wide registry every instrumentation site uses.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str, help: str = "") -> _Family:
+    """Shorthand for ``registry().counter(...)``."""
+    return _REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> _Family:
+    return _REGISTRY.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+) -> _Family:
+    return _REGISTRY.histogram(name, help, buckets)

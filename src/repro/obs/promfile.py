@@ -1,0 +1,112 @@
+"""Prometheus textfile exporter for registry snapshots.
+
+Renders a snapshot in the Prometheus text exposition format (version
+0.0.4) for node-exporter textfile-collector setups: point
+``REPRO_OBS_PROM`` at a file under the collector directory and
+:func:`repro.obs.finalize` rewrites it atomically at process exit.
+
+Metric names are sanitised (dots and other non-identifier characters
+become underscores); histograms expand to the conventional cumulative
+``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """A valid Prometheus metric name (``convert.blocks`` -> ``convert_blocks``)."""
+    out = _NAME_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: Dict[str, Any], extra: str = "") -> str:
+    parts = [
+        f'{_LABEL_BAD.sub("_", str(k))}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_snapshot(snapshot: Dict[str, Any]) -> str:
+    """The snapshot in Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def header(name: str, kind: str) -> None:
+        if typed.get(name) != kind:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        name = sanitize_name(entry["name"])
+        header(name, "counter")
+        lines.append(
+            f"{name}{_label_str(entry['labels'])} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", ()):
+        name = sanitize_name(entry["name"])
+        header(name, "gauge")
+        lines.append(
+            f"{name}{_label_str(entry['labels'])} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", ()):
+        name = sanitize_name(entry["name"])
+        header(name, "histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            le = _label_str(labels, f'le="{_format_value(bound)}"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        le = _label_str(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{le} {entry['count']}")
+        lines.append(
+            f"{name}_sum{_label_str(labels)} {_format_value(entry['sum'])}"
+        )
+        lines.append(
+            f"{name}_count{_label_str(labels)} {entry['count']}"
+        )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_textfile(
+    path: Union[str, Path], snapshot: Dict[str, Any]
+) -> None:
+    """Atomically write the rendered snapshot (textfile-collector safe)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(render_snapshot(snapshot), encoding="utf-8")
+    os.replace(tmp, path)

@@ -1,0 +1,68 @@
+"""Process-wide observability switches.
+
+The whole obs layer hangs off one boolean: :func:`enabled`.  It is
+derived from the ``REPRO_OBS`` environment variable (so worker processes
+spawned by :mod:`repro.experiments.parallel` inherit it for free) and
+cached after the first read, because instrumented hot paths consult it
+per file/block and must not pay ``os.environ`` lookups.
+
+``REPRO_OBS_LOG`` names the JSONL event-log file (see
+:mod:`repro.obs.events`); ``REPRO_OBS_MAIN_PID`` records which process
+configured observability, so every *other* process (a pool worker)
+derives its own per-worker log file and never interleaves appends.
+``REPRO_OBS_PROM`` optionally names a Prometheus textfile written at
+:func:`repro.obs.finalize` time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Enables the obs layer when set to a truthy value ("1", "true", ...).
+OBS_ENV = "REPRO_OBS"
+#: JSONL event-log path (main process; workers derive siblings).
+LOG_ENV = "REPRO_OBS_LOG"
+#: PID of the process that called :func:`repro.obs.configure`.
+MAIN_PID_ENV = "REPRO_OBS_MAIN_PID"
+#: Optional Prometheus textfile path written at finalize time.
+PROM_ENV = "REPRO_OBS_PROM"
+#: Optional program name recorded in event-log meta lines.
+PROGRAM_ENV = "REPRO_OBS_PROGRAM"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Cached enabled flag; ``None`` means "read the environment again".
+_cached: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Whether observability is on for this process (cached)."""
+    global _cached
+    if _cached is None:
+        _cached = os.environ.get(OBS_ENV, "").strip().lower() in _TRUTHY
+    return _cached
+
+
+def refresh() -> None:
+    """Drop the cached flag; the next :func:`enabled` re-reads the env."""
+    global _cached
+    _cached = None
+
+
+def set_enabled(value: bool) -> None:
+    """Set the flag in the environment (inherited by workers) and cache."""
+    global _cached
+    os.environ[OBS_ENV] = "1" if value else "0"
+    _cached = bool(value)
+
+
+def log_path() -> Optional[str]:
+    """Configured event-log path, or None."""
+    return os.environ.get(LOG_ENV) or None
+
+
+def is_worker() -> bool:
+    """True in a process other than the one that configured obs."""
+    main_pid = os.environ.get(MAIN_PID_ENV)
+    return bool(main_pid) and main_pid != str(os.getpid())

@@ -10,7 +10,9 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.champsim.branch_info import BranchRules
+from repro.obs import logutil
 from repro.sim.config import SimConfig
 from repro.sim.simulator import Simulator
 
@@ -43,11 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override warm-up fraction (0..1)",
     )
+    obs.add_obs_flags(parser)
+    logutil.add_logging_flags(parser)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logutil.configure_from_args(args)
+    obs.setup_cli("repro-sim", args)
     if args.config == "ipc1":
         config = SimConfig.ipc1(l1i_prefetcher=args.l1i_prefetcher)
     else:

@@ -20,7 +20,8 @@ it expresses every first-order effect the paper measures (see DESIGN.md
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Optional, Sequence
+from time import perf_counter
+from typing import Any, Dict, Optional, Sequence
 
 from repro.champsim.branch_info import BranchRules, BranchType
 from repro.sim.branch import (
@@ -40,6 +41,39 @@ _LINE_MASK = ~(LINE_SIZE - 1)
 
 _CALL_TYPES = (BranchType.DIRECT_CALL, BranchType.INDIRECT_CALL)
 _INDIRECT_TYPES = (BranchType.INDIRECT, BranchType.INDIRECT_CALL)
+
+
+class _TimedCalls:
+    """Attribute-forwarding proxy that wall-times selected methods.
+
+    Installed over the engine's components only when observability is
+    enabled — the disabled hot loop never sees a proxy — charging each
+    listed method's time to a component bucket (``keys`` maps method
+    name to bucket).
+    """
+
+    __slots__ = ("_obj", "_times", "_keys")
+
+    def __init__(self, obj: Any, times: Dict[str, float], keys: Dict[str, str]):
+        self._obj = obj
+        self._times = times
+        self._keys = keys
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._obj, name)
+        key = self._keys.get(name)
+        if key is None:
+            return attr
+        times = self._times
+
+        def timed(*args: Any, **kwargs: Any) -> Any:
+            start = perf_counter()
+            try:
+                return attr(*args, **kwargs)
+            finally:
+                times[key] += perf_counter() - start
+
+        return timed
 
 
 class Engine:
@@ -93,6 +127,45 @@ class Engine:
         ras = self.ras
         ittage = self.ittage
         l1i_pf = self.l1i_prefetcher
+
+        from repro.obs import state as obs_state
+
+        component_time: Optional[Dict[str, float]] = None
+        if obs_state.enabled():
+            # Exact per-component attribution: proxy the engine's
+            # components so cache accesses, predictor work, and prefetch
+            # issue are each timed.  Only the enabled path pays for it.
+            component_time = {"cache": 0.0, "branch": 0.0, "prefetch": 0.0}
+            hierarchy = _TimedCalls(
+                hierarchy,
+                component_time,
+                {
+                    "access_instruction": "cache",
+                    "access_data": "cache",
+                    "prefetch_instruction": "prefetch",
+                },
+            )
+            direction = _TimedCalls(
+                direction,
+                component_time,
+                {"predict": "branch", "update": "branch"},
+            )
+            btb = _TimedCalls(
+                btb, component_time, {"lookup": "branch", "install": "branch"}
+            )
+            ras = _TimedCalls(
+                ras, component_time, {"pop": "branch", "push": "branch"}
+            )
+            if ittage is not None:
+                ittage = _TimedCalls(
+                    ittage,
+                    component_time,
+                    {"predict": "branch", "update": "branch"},
+                )
+            if l1i_pf is not None:
+                l1i_pf = _TimedCalls(
+                    l1i_pf, component_time, {"on_fetch": "prefetch"}
+                )
 
         n = len(decoded)
         warmup = int(n * config.warmup_fraction)
@@ -335,4 +408,24 @@ class Engine:
             stats.count_instruction()
 
         stats.cycles = max(1, last_retire - warmup_base_cycle)
+
+        if component_time is not None:
+            from repro import obs
+
+            start = perf_counter()
+            for component, seconds in component_time.items():
+                if seconds > 0.0:
+                    obs.emit_child_span(
+                        f"sim.{component}",
+                        start,
+                        seconds,
+                        {"instructions": n},
+                    )
+            obs.counter(
+                "repro_sim_instructions_total",
+                "Instructions simulated (incl. warm-up).",
+            ).inc(n)
+            obs.counter(
+                "repro_sim_cycles_total", "Post-warm-up cycles simulated."
+            ).inc(stats.cycles)
         return stats

@@ -69,9 +69,23 @@ class Simulator:
         rules: BranchRules = BranchRules.ORIGINAL,
     ) -> SimStats:
         """Simulate one trace with a fresh engine; return its statistics."""
-        decoded = _as_decoded(trace, rules, cache=self.decode_cache)
-        engine = Engine(self.config, decode_cache=self.decode_cache)
-        return engine.run(decoded)
+        from repro import obs
+
+        cache = self.decode_cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+        with obs.span("sim.decode", rules=rules.name):
+            decoded = _as_decoded(trace, rules, cache=cache)
+        if cache is not None and obs.enabled():
+            family = obs.counter(
+                "repro_sim_decode_cache_events_total",
+                "Decode-cache hits/misses during trace pre-decode.",
+            )
+            family.labels(op="hit").inc(cache.hits - hits_before)
+            family.labels(op="miss").inc(cache.misses - misses_before)
+        engine = Engine(self.config, decode_cache=cache)
+        with obs.span("sim.engine", instructions=len(decoded)):
+            return engine.run(decoded)
 
 
 def simulate(
