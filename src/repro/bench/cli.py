@@ -117,7 +117,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         f"{variant} {entry['records_per_sec']:,.0f} rec/s"
                     )
             for key in sorted(workload):
-                if key == "speedup" or key.endswith("_speedup"):
+                if "speedup" in key and not isinstance(workload[key], dict):
                     parts.append(f"{key} {workload[key]:.2f}x")
             print(f"[{phase}] {name}: " + "  ".join(parts))
         print(f"[{phase}] wrote {path}")

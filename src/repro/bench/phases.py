@@ -158,7 +158,15 @@ def bench_sim(
     repeats: int = 5,
     quick: bool = False,
 ) -> Dict[str, Any]:
-    """Interval-model throughput, cold decode vs warm decode cache."""
+    """Interval-model throughput: cold vs warm decode, scalar vs vector.
+
+    Per source, ``cold``/``warm`` time the scalar reference engine with
+    and without a warm :class:`~repro.sim.decoded.DecodeCache`;
+    ``vector_cold``/``vector_warm`` repeat the measurement with the
+    columnar vector engine (warm runs additionally reuse the simulator's
+    columnar memo).  ``engine_speedup`` is vector-warm over scalar-warm
+    throughput — the number the CI bench-smoke job gates on.
+    """
     from repro.core.convert import Converter
     from repro.core.improvements import Improvement
     from repro.cvp.reader import CvpTraceReader
@@ -204,6 +212,22 @@ def bench_sim(
             warm = _timed_variant(
                 lambda: warm_sim.run(instrs, rules), len(instrs), repeats
             )
+
+            # Vector engine, same protocol: a throwaway Simulator per
+            # run for the cold number, one long-lived Simulator (warm
+            # decode cache + columnar memo) for the warm number.
+            vector_cold = _timed_variant(
+                lambda: Simulator(
+                    SimConfig.main(), decode_cache=None, engine="vector"
+                ).run(instrs, rules),
+                len(instrs),
+                repeats,
+            )
+            vector_sim = Simulator(SimConfig.main(), engine="vector")
+            vector_sim.run(instrs, rules)  # populate cache + memo
+            vector_warm = _timed_variant(
+                lambda: vector_sim.run(instrs, rules), len(instrs), repeats
+            )
             workloads[name] = {
                 "decode_cold": decode_cold,
                 "decode_warm": decode_warm,
@@ -212,6 +236,12 @@ def bench_sim(
                 "cold": cold,
                 "warm": warm,
                 "speedup": warm["records_per_sec"] / cold["records_per_sec"],
+                "vector_cold": vector_cold,
+                "vector_warm": vector_warm,
+                "engine_speedup": vector_warm["records_per_sec"]
+                / warm["records_per_sec"],
+                "engine_speedup_cold": vector_cold["records_per_sec"]
+                / cold["records_per_sec"],
             }
     return payload
 

@@ -52,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweeps (0 = all cores)",
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        choices=["scalar", "vector"],
+        help=(
+            "override the simulator engine for every run (vector is the "
+            "bit-identical columnar batch engine; default: per-config)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help=(
@@ -115,6 +124,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stride=args.stride,
         cache=cache,
         jobs=None if args.jobs == 0 else args.jobs,
+        engine=args.engine,
     )
     chosen = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     print(f"[runner {runner.describe()}]")

@@ -68,6 +68,11 @@ class ExperimentRunner:
             convert+simulate pipeline across process boundaries.
         jobs: Default worker count for :meth:`run_many`/:meth:`run_batch`
             (1 = serial; individual calls can override).
+        engine: Override ``SimConfig.engine`` on every run (``None``
+            keeps each config's own choice).  The vector engine is
+            bit-identical to the scalar reference, but the override is
+            part of the memo/cache key, so switching engines never
+            aliases previously cached results.
     """
 
     def __init__(
@@ -77,12 +82,14 @@ class ExperimentRunner:
         stride: int = 1,
         cache: Optional["ResultCache"] = None,
         jobs: int = 1,
+        engine: Optional[str] = None,
     ):
         self.instructions = instructions
         self.limit = limit
         self.stride = stride
         self.cache = cache
         self.jobs = jobs
+        self.engine = engine
         #: Convert+simulate executions actually performed by this process
         #: (cache/memo hits do not count) — the warm-sweep assertions key
         #: off this staying at zero.
@@ -129,6 +136,15 @@ class ExperimentRunner:
             self._characterizations[name] = characterize(self.trace(name))
         return self._characterizations[name]
 
+    def _normalize_config(self, config: Optional[SimConfig]) -> SimConfig:
+        """Default to ``SimConfig.main()`` and apply the engine override."""
+        from dataclasses import replace
+
+        config = config or SimConfig.main()
+        if self.engine is not None and config.engine != self.engine:
+            config = replace(config, engine=self.engine)
+        return config
+
     def _cache_key(self, name: str, improvements: Improvement, config: SimConfig) -> str:
         from repro.experiments.cache import run_key
 
@@ -173,7 +189,7 @@ class ExperimentRunner:
         config: Optional[SimConfig] = None,
     ) -> RunResult:
         """Convert + simulate (memoised; disk-cached when a cache is set)."""
-        config = config or SimConfig.main()
+        config = self._normalize_config(config)
         key = (name, improvements, config)
         if key in self._runs:
             return self._runs[key]
@@ -239,7 +255,7 @@ class ExperimentRunner:
         resolved: Dict[int, RunResult] = {}
         pending: Dict[Tuple[str, Improvement, SimConfig], List[int]] = {}
         for index, (name, improvements, config) in enumerate(specs):
-            config = config or SimConfig.main()
+            config = self._normalize_config(config)
             key = (name, improvements, config)
             if key in self._runs:
                 resolved[index] = self._runs[key]

@@ -28,14 +28,18 @@ Two presets mirror the paper's two ChampSim versions:
 
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
-from repro.sim.decoded import DecodedInstr, decode_trace
-from repro.sim.simulator import Simulator, simulate
+from repro.sim.decoded import DecodedColumns, DecodedInstr, columnarize, decode_trace
+from repro.sim.simulator import ENGINE_NAMES, Simulator, make_engine, simulate
 
 __all__ = [
     "SimConfig",
     "SimStats",
+    "DecodedColumns",
     "DecodedInstr",
+    "columnarize",
     "decode_trace",
+    "ENGINE_NAMES",
     "Simulator",
+    "make_engine",
     "simulate",
 ]

@@ -35,6 +35,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="ChampSim branch-deduction rules (patched for branch-regs traces)",
     )
     parser.add_argument(
+        "--engine",
+        default="scalar",
+        choices=["scalar", "vector"],
+        help="engine implementation (vector is the bit-identical columnar "
+        "batch engine; scalar is the per-instruction reference)",
+    )
+    parser.add_argument(
         "--l1i-prefetcher",
         default="",
         help="instruction prefetcher name (IPC-1 submissions) or empty",
@@ -60,10 +67,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = SimConfig.main()
         if args.l1i_prefetcher:
             config = SimConfig.main(l1i_prefetcher=args.l1i_prefetcher)
-    if args.warmup is not None:
-        from dataclasses import replace
+    from dataclasses import replace
 
+    if args.warmup is not None:
         config = replace(config, warmup_fraction=args.warmup)
+    if args.engine != config.engine:
+        config = replace(config, engine=args.engine)
     rules = BranchRules.PATCHED if args.rules == "patched" else BranchRules.ORIGINAL
     stats = Simulator(config).run(args.trace, rules)
     print(stats.summary())

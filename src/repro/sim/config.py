@@ -19,6 +19,13 @@ class SimConfig:
 
     name: str = "main"
 
+    #: Which engine implementation runs the interval model: ``"scalar"``
+    #: (the per-instruction reference in :mod:`repro.sim.engine`) or
+    #: ``"vector"`` (the columnar batch engine in
+    #: :mod:`repro.sim.vector_engine`, pinned bit-identical to the scalar
+    #: engine by the differential test tier).
+    engine: str = "scalar"
+
     # --- widths and windows ------------------------------------------------
     fetch_width: int = 6
     dispatch_width: int = 6

@@ -21,6 +21,11 @@ from typing import List, Optional, Sequence, Tuple
 from repro.champsim.branch_info import BranchRules, BranchType, deduce_branch_type
 from repro.champsim.trace import ChampSimInstr
 
+try:  # numpy accelerates columnarisation; the fallback is pure python
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
 
 @dataclass
 class DecodedInstr:
@@ -126,6 +131,101 @@ class DecodeCache:
         if len(entries) > self.maxsize:
             entries.popitem(last=False)
         return decoded
+
+
+#: Kind bits in :attr:`DecodedColumns.kinds` (0 = plain ALU op).
+KIND_SRC_MEM = 1
+KIND_DST_MEM = 2
+KIND_BRANCH = 4
+
+#: Cacheline granularity of the fetch stage (mirrors the cache model).
+_LINE_BITS = 6
+_LINE_MASK = ~((1 << _LINE_BITS) - 1)
+
+
+class DecodedColumns:
+    """Column-oriented view of a decoded trace for the vector engine.
+
+    The structure-of-arrays counterpart to a ``List[DecodedInstr]``: one
+    parallel column per field the engine touches, so the hot loop reads
+    plain Python lists instead of dataclass attributes, plus a
+    numpy-precomputed ``new_line`` break mask (``line[i] != line[i-1]``,
+    the fetch stage's serialization points).  Event columns (branch
+    outcome, target, memory operand tuples) are only indexed when the
+    event occurs; :attr:`decoded` keeps the original instruction objects
+    reachable for callers that need the row view back.
+    """
+
+    __slots__ = (
+        "decoded",
+        "n",
+        "ips",
+        "lines",
+        "new_line",
+        "kinds",
+        "src_regs",
+        "dst_regs",
+        "branch_types",
+        "branch_takens",
+        "targets",
+        "src_mems",
+        "dst_mems",
+        "max_reg",
+    )
+
+    def __init__(self, decoded: Sequence[DecodedInstr]):
+        self.decoded = (
+            decoded if isinstance(decoded, list) else list(decoded)
+        )
+        decoded = self.decoded
+        self.n = n = len(decoded)
+        not_branch = BranchType.NOT_BRANCH
+        self.ips = ips = [d.ip for d in decoded]
+        self.kinds = [
+            (KIND_SRC_MEM if d.src_mem else 0)
+            | (KIND_DST_MEM if d.dst_mem else 0)
+            | (KIND_BRANCH if d.branch_type is not not_branch else 0)
+            for d in decoded
+        ]
+        self.src_regs = [d.src_regs for d in decoded]
+        self.dst_regs = [d.dst_regs for d in decoded]
+        self.branch_types = [d.branch_type for d in decoded]
+        self.branch_takens = [d.branch_taken for d in decoded]
+        self.targets = [d.target for d in decoded]
+        self.src_mems = [d.src_mem for d in decoded]
+        self.dst_mems = [d.dst_mem for d in decoded]
+        if _np is not None and n:
+            line_array = _np.array(ips, dtype=_np.uint64) >> _LINE_BITS
+            breaks = _np.empty(n, dtype=bool)
+            breaks[0] = True
+            _np.not_equal(line_array[1:], line_array[:-1], out=breaks[1:])
+            self.lines = (line_array << _LINE_BITS).tolist()
+            self.new_line = breaks.tolist()
+        else:
+            self.lines = [ip & _LINE_MASK for ip in ips]
+            self.new_line = [
+                i == 0 or self.lines[i] != self.lines[i - 1] for i in range(n)
+            ]
+        max_reg = 0
+        for regs in self.src_regs:
+            for reg in regs:
+                if reg > max_reg:
+                    max_reg = reg
+        for regs in self.dst_regs:
+            for reg in regs:
+                if reg > max_reg:
+                    max_reg = reg
+        self.max_reg = max_reg
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def columnarize(
+    decoded: Sequence[DecodedInstr],
+) -> DecodedColumns:
+    """Build the structure-of-arrays view of ``decoded``."""
+    return DecodedColumns(decoded)
 
 
 def decode_trace(

@@ -65,15 +65,67 @@ class _TimedCalls:
         if key is None:
             return attr
         times = self._times
+        bucket = key
 
         def timed(*args: Any, **kwargs: Any) -> Any:
             start = perf_counter()
             try:
                 return attr(*args, **kwargs)
             finally:
-                times[key] += perf_counter() - start
+                times[bucket] += perf_counter() - start
 
         return timed
+
+
+def wrap_branch_components(
+    component_time: Dict[str, float],
+    direction: Any,
+    btb: Any,
+    ras: Any,
+    ittage: Any,
+    l1i_pf: Any,
+) -> tuple:
+    """Install :class:`_TimedCalls` over the branch/prefetch components.
+
+    Shared between the scalar and vector engines so both attribute the
+    same methods to the same ``sim.<component>`` buckets.
+    """
+    direction = _TimedCalls(
+        direction, component_time, {"predict": "branch", "update": "branch"}
+    )
+    btb = _TimedCalls(
+        btb, component_time, {"lookup": "branch", "install": "branch"}
+    )
+    ras = _TimedCalls(ras, component_time, {"pop": "branch", "push": "branch"})
+    if ittage is not None:
+        ittage = _TimedCalls(
+            ittage, component_time, {"predict": "branch", "update": "branch"}
+        )
+    if l1i_pf is not None:
+        l1i_pf = _TimedCalls(l1i_pf, component_time, {"on_fetch": "prefetch"})
+    return direction, btb, ras, ittage, l1i_pf
+
+
+def emit_engine_obs(component_time: Dict[str, float], n: int, cycles: int) -> None:
+    """Emit the per-component spans and engine counters for one run."""
+    from repro import obs
+
+    start = perf_counter()
+    for component, seconds in component_time.items():
+        if seconds > 0.0:
+            obs.emit_child_span(
+                f"sim.{component}",
+                start,
+                seconds,
+                {"instructions": n},
+            )
+    obs.counter(
+        "repro_sim_instructions_total",
+        "Instructions simulated (incl. warm-up).",
+    ).inc(n)
+    obs.counter(
+        "repro_sim_cycles_total", "Post-warm-up cycles simulated."
+    ).inc(cycles)
 
 
 class Engine:
@@ -92,7 +144,7 @@ class Engine:
         self.config = config
         self.decode_cache = decode_cache
         self.stats = SimStats()
-        self.hierarchy = CacheHierarchy(config, self.stats)
+        self.hierarchy = self._build_hierarchy(config, self.stats)
         self.hierarchy.l1d_prefetcher = make_data_prefetcher(
             config.l1d_prefetcher, "l1d"
         )
@@ -102,6 +154,11 @@ class Engine:
         self.btb = BTB(config.btb_entries, config.btb_ways)
         self.ras = ReturnAddressStack(config.ras_size)
         self.ittage = ITTAGE() if config.indirect_predictor == "ittage" else None
+
+    def _build_hierarchy(self, config: SimConfig, stats: SimStats):
+        """Hierarchy factory hook; the vector engine swaps in its
+        flattened mirror here."""
+        return CacheHierarchy(config, stats)
 
     # ------------------------------------------------------------------
 
@@ -145,27 +202,9 @@ class Engine:
                     "prefetch_instruction": "prefetch",
                 },
             )
-            direction = _TimedCalls(
-                direction,
-                component_time,
-                {"predict": "branch", "update": "branch"},
+            direction, btb, ras, ittage, l1i_pf = wrap_branch_components(
+                component_time, direction, btb, ras, ittage, l1i_pf
             )
-            btb = _TimedCalls(
-                btb, component_time, {"lookup": "branch", "install": "branch"}
-            )
-            ras = _TimedCalls(
-                ras, component_time, {"pop": "branch", "push": "branch"}
-            )
-            if ittage is not None:
-                ittage = _TimedCalls(
-                    ittage,
-                    component_time,
-                    {"predict": "branch", "update": "branch"},
-                )
-            if l1i_pf is not None:
-                l1i_pf = _TimedCalls(
-                    l1i_pf, component_time, {"on_fetch": "prefetch"}
-                )
 
         n = len(decoded)
         warmup = int(n * config.warmup_fraction)
@@ -410,22 +449,5 @@ class Engine:
         stats.cycles = max(1, last_retire - warmup_base_cycle)
 
         if component_time is not None:
-            from repro import obs
-
-            start = perf_counter()
-            for component, seconds in component_time.items():
-                if seconds > 0.0:
-                    obs.emit_child_span(
-                        f"sim.{component}",
-                        start,
-                        seconds,
-                        {"instructions": n},
-                    )
-            obs.counter(
-                "repro_sim_instructions_total",
-                "Instructions simulated (incl. warm-up).",
-            ).inc(n)
-            obs.counter(
-                "repro_sim_cycles_total", "Post-warm-up cycles simulated."
-            ).inc(stats.cycles)
+            emit_engine_obs(component_time, n, stats.cycles)
         return stats

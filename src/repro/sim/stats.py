@@ -95,6 +95,45 @@ class SimStats:
             self.prefetches_issued[level] = self.prefetches_issued.get(level, 0) + 1
 
     # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Every counter as plain data (enum keys become their names).
+
+        Two runs are bit-identical iff their ``to_dict()`` results are
+        equal — the differential harness (``tests/diffharness.py``)
+        compares these dicts key by key so a divergence names the exact
+        counter instead of dumping two full reprs.
+        """
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "branches": self.branches,
+            "taken_branches": self.taken_branches,
+            "direction_mispredicts": self.direction_mispredicts,
+            "target_mispredicts": self.target_mispredicts,
+            "mispredicted_branches": self.mispredicted_branches,
+            "target_misses_by_type": {
+                branch_type.name: count
+                for branch_type, count in sorted(
+                    self.target_misses_by_type.items(),
+                    key=lambda item: item[0].name,
+                )
+            },
+            "branches_by_type": {
+                branch_type.name: count
+                for branch_type, count in sorted(
+                    self.branches_by_type.items(),
+                    key=lambda item: item[0].name,
+                )
+            },
+            "cache_accesses": dict(sorted(self.cache_accesses.items())),
+            "cache_misses": dict(sorted(self.cache_misses.items())),
+            "prefetches_issued": dict(sorted(self.prefetches_issued.items())),
+        }
+
+    # ------------------------------------------------------------------
     # derived metrics
     # ------------------------------------------------------------------
 

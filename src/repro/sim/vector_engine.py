@@ -1,0 +1,684 @@
+"""The columnar batch engine: the scalar interval model, vectorized.
+
+:class:`VectorEngine` computes exactly the statistics of
+:class:`~repro.sim.engine.Engine` — the differential test tier
+(``tests/test_vector_engine_differential.py``) pins bit-identical
+:class:`~repro.sim.stats.SimStats` on every golden fixture, every synth
+profile, and hypothesis-generated streams — while restructuring the work
+for batch throughput (see ``docs/vector_engine.md``):
+
+- the decoded stream is **columnarized** once into
+  :class:`~repro.sim.decoded.DecodedColumns`: numpy computes the
+  cacheline ids and the ``new_line`` fetch-break mask in bulk, and every
+  field the sweep touches becomes a parallel Python list, so the hot
+  loop never reads a dataclass attribute;
+- the sweep iterates the columns with ``zip`` and keeps all pipeline
+  state flat: the register scoreboard is a dense list indexed by
+  register id (the scalar engine's dict), the ROB is a preallocated
+  ring (the scalar engine's deque), and the cache hierarchy is the
+  :class:`~repro.sim.flathier.FlatHierarchy` mirror — with the L1
+  ready-hit paths (the overwhelmingly common outcome) additionally
+  inlined into the sweep itself, so a hit costs dict lookups instead of
+  a method-call chain;
+- **segment breaks** — branch redirects and cache misses — fall out of
+  the same recurrences as the scalar engine because the sequential
+  carries (``fetch_cycle``, ``redirect_at``, ``dispatch_cycle``,
+  ``last_retire``) are computed in the identical order with identical
+  inputs; stateful components (direction predictor, BTB, RAS, ITTAGE,
+  prefetchers) are invoked at exactly the scalar engine's call points
+  so their internal state evolves identically;
+- statistics are **batch-folded**: instruction counts close-form, branch
+  and cache counters accumulate in sweep-local integers, all flushed at
+  the warm-up boundary and at the end of the run.
+
+The sweep runs in two phases split at the warm-up boundary, which hoists
+the per-instruction ``index == warmup`` check and the ``stats.enabled``
+test out of the loop entirely.  When observability is enabled the inline
+cache paths are bypassed in favour of the proxied method calls, so
+per-component time attribution stays exact (matching the scalar
+engine's behaviour of only paying for attribution when it is on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Dict, Optional, Sequence, Union
+
+from repro.champsim.branch_info import BranchRules, BranchType
+from repro.sim.decoded import (
+    DecodedColumns,
+    DecodedInstr,
+    columnarize,
+    decode_trace,
+)
+from repro.sim.engine import (
+    Engine,
+    _TimedCalls,
+    emit_engine_obs,
+    wrap_branch_components,
+)
+from repro.sim.flathier import SRC_L1, FlatHierarchy
+from repro.sim.stats import SimStats
+
+_BT_NOT_BRANCH = BranchType.NOT_BRANCH
+_BT_COND = BranchType.CONDITIONAL
+_BT_RETURN = BranchType.RETURN
+_BT_INDIRECT = BranchType.INDIRECT
+_BT_DIRECT_CALL = BranchType.DIRECT_CALL
+_BT_INDIRECT_CALL = BranchType.INDIRECT_CALL
+
+#: ``issue_load`` compaction bounds, mirrored from the scalar engine.
+_ISSUE_LOAD_LIMIT = 8192
+_ISSUE_LOAD_HORIZON = 64
+
+
+class VectorEngine(Engine):
+    """Single-run columnar engine; construct fresh per simulation.
+
+    Drop-in for :class:`~repro.sim.engine.Engine`: same constructor,
+    same :meth:`run` contract (raw or pre-decoded streams, shared
+    decode cache), same observability attribution, bit-identical
+    statistics.  :meth:`run` additionally accepts an already-built
+    :class:`~repro.sim.decoded.DecodedColumns` so long-lived callers
+    (:class:`~repro.sim.simulator.Simulator`) can reuse columnarisation
+    across runs the way the decode cache reuses decodes.
+    """
+
+    def _build_hierarchy(self, config, stats):
+        return FlatHierarchy(config, stats)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        decoded: Union[Sequence[DecodedInstr], DecodedColumns],
+        rules: BranchRules = BranchRules.ORIGINAL,
+    ) -> SimStats:
+        """Simulate the whole trace; return the (post-warm-up) statistics."""
+        from repro.obs import state as obs_state
+
+        component_time: Optional[Dict[str, float]] = None
+        obs_enabled = obs_state.enabled()
+        if obs_enabled:
+            component_time = {
+                "columnarize": 0.0,
+                "cache": 0.0,
+                "branch": 0.0,
+                "prefetch": 0.0,
+            }
+
+        if isinstance(decoded, DecodedColumns):
+            columns = decoded
+        else:
+            if decoded and not isinstance(decoded[0], DecodedInstr):
+                decoded = decode_trace(decoded, rules, cache=self.decode_cache)
+            if component_time is not None:
+                start = perf_counter()
+                columns = columnarize(decoded)
+                component_time["columnarize"] += perf_counter() - start
+            else:
+                columns = columnarize(decoded)
+
+        config = self.config
+        stats = self.stats
+        n = columns.n
+        warmup = int(n * config.warmup_fraction)
+        stats.enabled = warmup == 0
+
+        hierarchy = self._real_hierarchy = self.hierarchy
+        hierarchy.counting = stats.enabled
+        direction = self.direction
+        btb = self.btb
+        ras = self.ras
+        ittage = self.ittage
+        l1i_pf = self.l1i_prefetcher
+        if component_time is not None:
+            hierarchy = _TimedCalls(
+                hierarchy,
+                component_time,
+                {
+                    "access_instruction_fast": "cache",
+                    "access_data_fast": "cache",
+                    "prefetch_instruction": "prefetch",
+                },
+            )
+            direction, btb, ras, ittage, l1i_pf = wrap_branch_components(
+                component_time, direction, btb, ras, ittage, l1i_pf
+            )
+
+        # ---------------------------------------------- sweep-wide state
+        self._columns = columns
+        self._hierarchy_view = hierarchy
+        self._direction = direction
+        self._btb = btb
+        self._ras = ras
+        self._ittage = ittage
+        self._l1i_pf = l1i_pf
+
+        self._fetch_cycle = 0
+        self._fetched_in_group = 0
+        self._redirect_at = 0
+        self._dispatch_cycle = 0
+        self._dispatched_in_cycle = 0
+        self._last_retire = 0
+        self._retired_in_cycle = 0
+        self._fdip_cursor = 0
+        self._fdip_lines_ahead = 0
+        self._fdip_last_line = -1
+        self._last_branch_ip: Optional[int] = None
+        self._last_branch_type = _BT_NOT_BRANCH
+        self._last_branch_target: Optional[int] = None
+
+        rob_size = config.rob_size
+        self._rob_buf = [0] * rob_size
+        self._rob_head = 0
+        self._rob_tail = 0
+        self._rob_count = 0
+        self._reg_ready = [0] * (columns.max_reg + 1)
+        self._issue_load: Dict[int, int] = {}
+        self._prf_free = config.prf_size
+        self._prf_pending: deque = deque()
+
+        warmup_base_cycle = 0
+        if warmup:
+            self._sweep(0, min(warmup, n), counting=False)
+        if warmup < n:
+            hierarchy_real = self._real_hierarchy
+            hierarchy_real.flush_stats()
+            hierarchy_real.counting = True
+            stats.enabled = True
+            warmup_base_cycle = self._last_retire
+            self._sweep(warmup, n, counting=True)
+            stats.instructions += n - warmup
+
+        self._real_hierarchy.flush_stats()
+        stats.cycles = max(1, self._last_retire - warmup_base_cycle)
+
+        if component_time is not None:
+            emit_engine_obs(component_time, n, stats.cycles)
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _sweep(self, start: int, stop: int, counting: bool) -> None:
+        """Run instructions ``[start, stop)`` through the interval model.
+
+        All sequential carries live in locals; ``self`` is only touched
+        on entry and exit.  The recurrence structure and every component
+        call site mirror :meth:`Engine.run` exactly — see that method
+        for the architectural commentary — with statistics accumulated
+        in batch instead of per call, and the L1 ready-hit cache paths
+        inlined (bit-identical to
+        :meth:`~repro.sim.flathier.FlatHierarchy.demand_fast`, which
+        still handles every other outcome).
+        """
+        columns = self._columns
+        ips = columns.ips
+        lines = columns.lines
+        branch_types = columns.branch_types
+        branch_takens = columns.branch_takens
+        targets = columns.targets
+        src_mems = columns.src_mems
+        dst_mems = columns.dst_mems
+        config = self.config
+
+        flat = self._real_hierarchy
+        hierarchy = self._hierarchy_view
+        # Inline cache paths only when no obs proxy sits between the
+        # sweep and the hierarchy (attribution must stay exact).
+        inline_cache = hierarchy is flat
+        access_instruction_fast = hierarchy.access_instruction_fast
+        access_data_fast = hierarchy.access_data_fast
+        prefetch_instruction = hierarchy.prefetch_instruction
+        demand_fast = flat.demand_fast
+        l1i = flat.l1i
+        l1i_sets = l1i.sets
+        l1i_ready_get = l1i.ready.get
+        l1i_num_sets = l1i.num_sets
+        l1d = flat.l1d
+        l1d_sets = l1d.sets
+        l1d_ready_get = l1d.ready.get
+        l1d_num_sets = l1d.num_sets
+        l1d_latency = l1d.latency
+        l1d_pf = flat.l1d_prefetcher
+        l1d_pf_hook = l1d_pf.on_access if l1d_pf is not None else None
+        l2_pf = flat.l2_prefetcher
+        l2_pf_hook = l2_pf.on_access if l2_pf is not None else None
+
+        direction = self._direction
+        direction_predict = direction.predict
+        direction_update = direction.update
+        btb_lookup = self._btb.lookup
+        btb_install = self._btb.install
+        ras_pop = self._ras.pop
+        ras_push = self._ras.push
+        ittage = self._ittage
+        if ittage is not None:
+            ittage_predict = ittage.predict
+            ittage_update = ittage.update
+        l1i_pf = self._l1i_pf
+
+        fetch_width = config.fetch_width
+        dispatch_width = config.dispatch_width
+        exec_width = config.exec_width
+        retire_width = config.retire_width
+        rob_size = config.rob_size
+        frontend_depth = config.frontend_depth
+        restart = config.mispredict_restart
+        btb_miss_penalty = config.btb_miss_penalty
+        l1i_hit = l1i.latency
+        alu_latency = config.alu_latency
+        branch_latency = config.branch_latency
+        ideal_targets = config.ideal_targets
+        fdip = config.fdip_lookahead if config.decoupled_frontend else 0
+        prf_size = config.prf_size
+
+        fetch_cycle = self._fetch_cycle
+        fetched_in_group = self._fetched_in_group
+        redirect_at = self._redirect_at
+        dispatch_cycle = self._dispatch_cycle
+        dispatched_in_cycle = self._dispatched_in_cycle
+        last_retire = self._last_retire
+        retired_in_cycle = self._retired_in_cycle
+        fdip_cursor = self._fdip_cursor
+        fdip_lines_ahead = self._fdip_lines_ahead
+        fdip_last_line = self._fdip_last_line
+        last_branch_ip = self._last_branch_ip
+        last_branch_type = self._last_branch_type
+        last_branch_target = self._last_branch_target
+        rob_buf = self._rob_buf
+        rob_head = self._rob_head
+        rob_tail = self._rob_tail
+        rob_count = self._rob_count
+        reg_ready = self._reg_ready
+        issue_load = self._issue_load
+        issue_load_get = issue_load.get
+        prf_free = self._prf_free
+        prf_pending = self._prf_pending
+
+        n = columns.n
+        bt_not_branch = _BT_NOT_BRANCH
+        bt_cond = _BT_COND
+        bt_return = _BT_RETURN
+        bt_indirect = _BT_INDIRECT
+        bt_direct_call = _BT_DIRECT_CALL
+        bt_indirect_call = _BT_INDIRECT_CALL
+
+        # Batched statistics (folded into SimStats / FlatHierarchy on exit).
+        b_branches = 0
+        b_taken = 0
+        b_direction = 0
+        b_target = 0
+        b_mispredicted = 0
+        by_type: Dict[BranchType, int] = {}
+        tgt_by_type: Dict[BranchType, int] = {}
+        acc_l1i = miss_l1i = 0
+        acc_l1d = miss_l1d = 0
+
+        il_size = len(issue_load)
+
+        if start == 0 and stop == n:
+            kinds_col = columns.kinds
+            new_line_col = columns.new_line
+            src_regs_col = columns.src_regs
+            dst_regs_col = columns.dst_regs
+        else:
+            kinds_col = columns.kinds[start:stop]
+            new_line_col = columns.new_line[start:stop]
+            src_regs_col = columns.src_regs[start:stop]
+            dst_regs_col = columns.dst_regs[start:stop]
+
+        index = start
+        for kind, new_line, srcs, dsts in zip(
+            kinds_col, new_line_col, src_regs_col, dst_regs_col
+        ):
+            # ----------------------------------------------------- fetch
+            if (
+                new_line
+                or fetched_in_group >= fetch_width
+                or redirect_at > fetch_cycle
+            ):
+                fetch_cycle += 1
+                if redirect_at > fetch_cycle:
+                    fetch_cycle = redirect_at
+                fetched_in_group = 0
+                if new_line:
+                    line = lines[index]
+                    if inline_cache:
+                        set_state = l1i_sets.get(
+                            (line >> 6) % l1i_num_sets
+                        )
+                        if set_state is not None and line in set_state:
+                            l1i.clock = clk = l1i.clock + 1
+                            set_state[line] = clk
+                            ready = l1i_ready_get(line, 0)
+                            if ready > fetch_cycle:
+                                if counting:
+                                    acc_l1i += 1
+                                    miss_l1i += 1
+                                wait = ready - fetch_cycle
+                                latency = (
+                                    wait if wait > l1i_hit else l1i_hit
+                                )
+                                source = 1
+                            else:
+                                if counting:
+                                    acc_l1i += 1
+                                latency = l1i_hit
+                                source = 0
+                        else:
+                            latency, source = demand_fast(
+                                l1i, line, fetch_cycle
+                            )
+                    else:
+                        latency, source = access_instruction_fast(
+                            line, fetch_cycle
+                        )
+                    extra = latency - l1i_hit
+                    if extra > 0:
+                        fetch_cycle += extra
+                    if l1i_pf is not None:
+                        l1i_pf.on_fetch(
+                            line,
+                            source == 0,
+                            hierarchy,
+                            fetch_cycle,
+                            branch_ip=last_branch_ip,
+                            branch_type=last_branch_type,
+                            branch_target=last_branch_target,
+                        )
+                        last_branch_ip = None
+                        last_branch_type = bt_not_branch
+                        last_branch_target = None
+                    if fdip:
+                        # Runahead: keep `fdip` distinct lines prefetched
+                        # ahead of the fetch point.
+                        fdip_lines_ahead -= 1
+                        if fdip_cursor <= index:
+                            fdip_cursor = index + 1
+                            fdip_lines_ahead = 0
+                            fdip_last_line = line
+                        while fdip_lines_ahead < fdip and fdip_cursor < n:
+                            next_line = lines[fdip_cursor]
+                            if next_line != fdip_last_line:
+                                if inline_cache:
+                                    # Already-resident lines are a no-op
+                                    # in prefetch_instruction; skip the
+                                    # call for them.
+                                    ps = l1i_sets.get(
+                                        (next_line >> 6) % l1i_num_sets
+                                    )
+                                    if ps is None or next_line not in ps:
+                                        prefetch_instruction(
+                                            next_line, fetch_cycle
+                                        )
+                                else:
+                                    prefetch_instruction(
+                                        next_line, fetch_cycle
+                                    )
+                                fdip_last_line = next_line
+                                fdip_lines_ahead += 1
+                            fdip_cursor += 1
+            fetch_time = fetch_cycle
+            fetched_in_group += 1
+
+            # -------------------------------------------------- dispatch
+            earliest = fetch_time + frontend_depth
+            if rob_count >= rob_size:
+                slot_free = rob_buf[rob_head]
+                rob_head += 1
+                if rob_head == rob_size:
+                    rob_head = 0
+                rob_count -= 1
+                if slot_free > earliest:
+                    earliest = slot_free
+            if prf_size and dsts:
+                needed = len(dsts)
+                # Reclaim registers whose holders have retired by now.
+                while prf_pending and prf_pending[0][0] <= earliest:
+                    prf_free += prf_pending.popleft()[1]
+                while prf_free < needed and prf_pending:
+                    when, count = prf_pending.popleft()
+                    prf_free += count
+                    if when > earliest:
+                        earliest = when
+                prf_free -= needed
+            if earliest > dispatch_cycle:
+                dispatch_cycle = earliest
+                dispatched_in_cycle = 1
+            else:
+                dispatched_in_cycle += 1
+                if dispatched_in_cycle > dispatch_width:
+                    dispatch_cycle += 1
+                    dispatched_in_cycle = 1
+
+            # ----------------------------------------------------- issue
+            ready = dispatch_cycle
+            for reg in srcs:
+                t = reg_ready[reg]
+                if t > ready:
+                    ready = t
+            issue = ready
+            load = issue_load_get(issue, 0)
+            while load >= exec_width:
+                issue += 1
+                load = issue_load_get(issue, 0)
+            issue_load[issue] = load + 1
+            if load == 0:
+                # Stored counts are always >= 1, so a zero ``get`` means
+                # the key was absent and this store grew the dict.
+                il_size += 1
+                if il_size > _ISSUE_LOAD_LIMIT:
+                    horizon = issue - _ISSUE_LOAD_HORIZON
+                    issue_load = {
+                        c: k for c, k in issue_load.items() if c >= horizon
+                    }
+                    issue_load_get = issue_load.get
+                    il_size = len(issue_load)
+
+            # ------------------------------------------ complete / branch
+            if kind == 0:
+                complete = issue + alu_latency
+            else:
+                ip = ips[index]
+                if kind & 3:
+                    if kind & 1:
+                        addrs = src_mems[index]
+                        writes = False
+                        latency = 0
+                    else:
+                        addrs = dst_mems[index]
+                        writes = True
+                        latency = alu_latency
+                    for addr in addrs:
+                        if inline_cache:
+                            aline = addr & -64
+                            set_state = l1d_sets.get(
+                                (aline >> 6) % l1d_num_sets
+                            )
+                            if (
+                                set_state is not None
+                                and aline in set_state
+                            ):
+                                l1d.clock = clk = l1d.clock + 1
+                                set_state[aline] = clk
+                                ready = l1d_ready_get(aline, 0)
+                                if ready > issue:
+                                    if counting:
+                                        acc_l1d += 1
+                                        miss_l1d += 1
+                                    wait = ready - issue
+                                    lat = (
+                                        wait
+                                        if wait > l1d_latency
+                                        else l1d_latency
+                                    )
+                                    src = 1
+                                else:
+                                    if counting:
+                                        acc_l1d += 1
+                                    lat = l1d_latency
+                                    src = 0
+                            else:
+                                lat, src = demand_fast(l1d, aline, issue)
+                            if l1d_pf_hook is not None:
+                                l1d_pf_hook(ip, addr, src == 0, flat, issue)
+                            if l2_pf_hook is not None and src != 0:
+                                l2_pf_hook(ip, addr, src == 2, flat, issue)
+                        else:
+                            lat, src = access_data_fast(
+                                ip, addr, issue, writes
+                            )
+                        if not writes and lat > latency:
+                            latency = lat
+                    complete = issue + latency
+                else:
+                    complete = issue + branch_latency
+
+                if kind & 4:
+                    branch_type = branch_types[index]
+                    taken = branch_takens[index]
+                    actual_target = targets[index]
+
+                    if branch_type is bt_cond:
+                        pred_taken = direction_predict(ip)
+                        direction_update(ip, taken)
+                        direction_wrong = pred_taken != taken
+                    else:
+                        pred_taken = True
+                        direction_wrong = False
+
+                    target_wrong = False
+                    btb_hit = True
+                    if ideal_targets:
+                        pass  # perfect targets: only direction redirects
+                    else:
+                        entry = btb_lookup(ip)
+                        btb_hit = entry is not None
+                        if branch_type is bt_return:
+                            pred_target = ras_pop()
+                        elif (
+                            branch_type is bt_indirect
+                            or branch_type is bt_indirect_call
+                        ):
+                            pred_target = None
+                            if ittage is not None:
+                                pred_target = ittage_predict(ip)
+                            if pred_target is None and entry is not None:
+                                pred_target = entry[0]
+                        else:
+                            pred_target = (
+                                entry[0] if entry is not None else None
+                            )
+                        if (
+                            branch_type is bt_direct_call
+                            or branch_type is bt_indirect_call
+                        ):
+                            ras_push(ip + 4)
+                        if taken:
+                            btb_install(ip, actual_target, branch_type)
+                            if ittage is not None and (
+                                branch_type is bt_indirect
+                                or branch_type is bt_indirect_call
+                            ):
+                                ittage_update(ip, actual_target)
+                            if pred_taken:
+                                target_wrong = (
+                                    pred_target is None
+                                    or pred_target != actual_target
+                                )
+
+                    if counting:
+                        b_branches += 1
+                        by_type[branch_type] = (
+                            by_type.get(branch_type, 0) + 1
+                        )
+                        if taken:
+                            b_taken += 1
+                        if direction_wrong:
+                            b_direction += 1
+                        if target_wrong:
+                            b_target += 1
+                            tgt_by_type[branch_type] = (
+                                tgt_by_type.get(branch_type, 0) + 1
+                            )
+                        if direction_wrong or target_wrong:
+                            b_mispredicted += 1
+
+                    if direction_wrong or target_wrong:
+                        redirect_at = complete + restart
+                    elif taken and not ideal_targets and not btb_hit:
+                        # Decode-time re-steer: target computable, but the
+                        # front-end had no BTB entry to follow at fetch.
+                        redirect_at = fetch_time + btb_miss_penalty
+
+                    if l1i_pf is not None:
+                        last_branch_ip = ip
+                        last_branch_type = branch_type
+                        last_branch_target = (
+                            actual_target if taken else None
+                        )
+
+            for reg in dsts:
+                reg_ready[reg] = complete
+
+            # ---------------------------------------------------- retire
+            if complete > last_retire:
+                last_retire = complete
+                retired_in_cycle = 1
+            else:
+                retired_in_cycle += 1
+                if retired_in_cycle > retire_width:
+                    last_retire += 1
+                    retired_in_cycle = 1
+            rob_buf[rob_tail] = last_retire
+            rob_tail += 1
+            if rob_tail == rob_size:
+                rob_tail = 0
+            rob_count += 1
+            if prf_size and dsts:
+                prf_pending.append((last_retire, len(dsts)))
+            index += 1
+
+        # ------------------------------------------------ state hand-back
+        self._fetch_cycle = fetch_cycle
+        self._fetched_in_group = fetched_in_group
+        self._redirect_at = redirect_at
+        self._dispatch_cycle = dispatch_cycle
+        self._dispatched_in_cycle = dispatched_in_cycle
+        self._last_retire = last_retire
+        self._retired_in_cycle = retired_in_cycle
+        self._fdip_cursor = fdip_cursor
+        self._fdip_lines_ahead = fdip_lines_ahead
+        self._fdip_last_line = fdip_last_line
+        self._last_branch_ip = last_branch_ip
+        self._last_branch_type = last_branch_type
+        self._last_branch_target = last_branch_target
+        self._rob_head = rob_head
+        self._rob_tail = rob_tail
+        self._rob_count = rob_count
+        self._issue_load = issue_load
+        self._prf_free = prf_free
+
+        if acc_l1i:
+            flat.acc_l1i += acc_l1i
+            flat.miss_l1i += miss_l1i
+        if acc_l1d:
+            flat.acc_l1d += acc_l1d
+            flat.miss_l1d += miss_l1d
+        if counting and b_branches:
+            stats = self.stats
+            stats.branches += b_branches
+            stats.taken_branches += b_taken
+            stats.direction_mispredicts += b_direction
+            stats.target_mispredicts += b_target
+            stats.mispredicted_branches += b_mispredicted
+            stats_by_type = stats.branches_by_type
+            for branch_type, count in by_type.items():
+                stats_by_type[branch_type] = (
+                    stats_by_type.get(branch_type, 0) + count
+                )
+            stats_tgt = stats.target_misses_by_type
+            for branch_type, count in tgt_by_type.items():
+                stats_tgt[branch_type] = stats_tgt.get(branch_type, 0) + count

@@ -1,0 +1,102 @@
+"""Shared assertions for the repo's differential ("fast vs reference") tests.
+
+Every differential tier ends in the same two comparisons: a statistics
+mapping must match key for key, and an output byte stream must match bit
+for bit.  A bare ``assert fast == slow`` on either produces an unreadable
+wall of repr when it fails; these helpers pinpoint the divergence instead
+— the exact counters that differ, or the first differing byte offset with
+a hexdump window around it.
+
+Used by ``test_fastconvert.py`` (block converter vs per-record converter),
+``test_sim_decoded.py`` (cached vs uncached decode) and
+``test_vector_engine_differential.py`` (vector vs scalar engine).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Sentinel rendered for a key present on only one side of a stats diff.
+_ABSENT = "<absent>"
+
+
+def _as_mapping(stats) -> Dict:
+    """Accept plain dicts or objects exporting ``to_dict()`` (SimStats)."""
+    to_dict = getattr(stats, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return dict(stats)
+
+
+def _flatten(mapping: Dict, prefix: str = "") -> Dict[str, object]:
+    """Flatten nested dicts into dotted keys ('cache_misses.L1D')."""
+    flat: Dict[str, object] = {}
+    for key, value in mapping.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{name}."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def stats_diff_lines(actual, expected) -> List[str]:
+    """One line per differing counter; empty when the stats are identical."""
+    actual_flat = _flatten(_as_mapping(actual))
+    expected_flat = _flatten(_as_mapping(expected))
+    lines = []
+    for key in sorted(set(actual_flat) | set(expected_flat)):
+        actual_value = actual_flat.get(key, _ABSENT)
+        expected_value = expected_flat.get(key, _ABSENT)
+        if actual_value != expected_value:
+            lines.append(
+                f"  {key}: actual={actual_value!r} expected={expected_value!r}"
+            )
+    return lines
+
+
+def assert_stats_identical(actual, expected, context=None) -> None:
+    """Assert two stats mappings (or SimStats) are key-for-key identical.
+
+    On failure the error lists only the divergent counters, flattening
+    nested per-level/per-type dicts into dotted keys.
+    """
+    lines = stats_diff_lines(actual, expected)
+    if lines:
+        header = "stats differ"
+        if context is not None:
+            header += f" [{context}]"
+        raise AssertionError("\n".join([header] + lines))
+
+
+def bytes_diff_message(
+    actual: bytes, expected: bytes, window: int = 16
+) -> Optional[str]:
+    """Describe the first divergence of two byte streams (None if equal)."""
+    if actual == expected:
+        return None
+    shorter = min(len(actual), len(expected))
+    offset = next(
+        (i for i in range(shorter) if actual[i] != expected[i]), shorter
+    )
+    lo = max(0, offset - window)
+    hi = offset + window
+    return (
+        f"byte streams differ at offset {offset} "
+        f"(lengths {len(actual)} vs {len(expected)})\n"
+        f"  actual  [{lo}:{hi}]: {actual[lo:hi].hex()}\n"
+        f"  expected[{lo}:{hi}]: {expected[lo:hi].hex()}"
+    )
+
+
+def assert_bytes_identical(actual: bytes, expected: bytes, context=None) -> None:
+    """Assert two byte streams are bit-for-bit identical.
+
+    On failure the error reports the first differing offset, both
+    lengths, and a hexdump window around the divergence.
+    """
+    message = bytes_diff_message(actual, expected)
+    if message is not None:
+        if context is not None:
+            message = f"[{context}] {message}"
+        raise AssertionError(message)

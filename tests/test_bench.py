@@ -136,6 +136,23 @@ def test_cli_quick_convert_writes_report(tmp_path, capsys):
     assert "[convert] golden_suite:" in out
 
 
+def test_cli_quick_sim_reports_engine_variants(tmp_path, capsys):
+    from repro.bench.cli import main
+
+    code = main(
+        ["sim", "--quick", "--repeat", "1", "--output-dir", str(tmp_path)]
+    )
+    assert code == 0
+    report = load_report(tmp_path / "BENCH_sim.json")
+    (workload,) = report["workloads"].values()
+    for variant in ("cold", "warm", "vector_cold", "vector_warm"):
+        assert workload[variant]["records_per_sec"] > 0
+    assert workload["engine_speedup"] > 0
+    assert workload["engine_speedup_cold"] > 0
+    out = capsys.readouterr().out
+    assert "vector_warm" in out and "engine_speedup" in out
+
+
 def test_cli_compare_detects_regression(tmp_path):
     from repro.bench.cli import main
 

@@ -55,6 +55,39 @@ def test_runner_trace_cache(runner):
     assert runner.trace("srv_0") is runner.trace("srv_0")
 
 
+def test_runner_engine_override_is_bit_identical(runner):
+    from tests.diffharness import assert_stats_identical
+
+    vector_runner = ExperimentRunner(instructions=4000, engine="vector")
+    scalar = runner.run("srv_0", Improvement.ALL)
+    vector = vector_runner.run("srv_0", Improvement.ALL)
+    assert vector.stats is not scalar.stats
+    assert_stats_identical(vector.stats, scalar.stats, "engine override")
+    # The override rewrites the memo key, so the run is not aliased with
+    # a scalar run of the same (trace, improvements, config).
+    rerun = vector_runner.run("srv_0", Improvement.ALL, SimConfig.main())
+    assert rerun is vector
+
+
+def test_cli_engine_flag(capsys):
+    from repro.experiments.cli import main
+
+    rc = main(
+        [
+            "fig1",
+            "--stride",
+            "45",
+            "--instructions",
+            "1500",
+            "--no-cache",
+            "--engine",
+            "vector",
+        ]
+    )
+    assert rc == 0
+    assert "Figure 1" in capsys.readouterr().out
+
+
 def test_figure1_shape(runner):
     data = figure1(runner)
     assert data.traces == len(runner.public_trace_names())

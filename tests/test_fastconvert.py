@@ -23,6 +23,7 @@ from repro.core.improvements import IMPROVEMENT_NAMES, Improvement
 from repro.cvp.reader import CvpTraceReader
 from repro.experiments.cache import conversion_stats_to_dict
 
+from tests.diffharness import assert_bytes_identical, assert_stats_identical
 from tests.test_property_converter import cvp_records, improvement_sets
 
 GOLDEN = sorted(glob.glob("tests/golden/*.cvp.gz"))
@@ -53,8 +54,9 @@ def test_fast_path_matches_slow_path_on_golden(path, name):
     for block_size in (1, 2, 4093, 4096):
         with CvpTraceReader(path) as reader:
             fast_bytes, fast_stats = _fast(reader, improvements, block_size)
-        assert fast_bytes == slow_bytes, (path, name, block_size)
-        assert fast_stats == slow_stats, (path, name, block_size)
+        context = (path, name, block_size)
+        assert_bytes_identical(fast_bytes, slow_bytes, context)
+        assert_stats_identical(fast_stats, slow_stats, context)
 
 
 @given(
@@ -68,8 +70,8 @@ def test_fast_path_matches_slow_path_on_arbitrary_records(
 ):
     slow_bytes, slow_stats = _slow(list(records), improvements)
     fast_bytes, fast_stats = _fast(list(records), improvements, block_size)
-    assert fast_bytes == slow_bytes
-    assert fast_stats == slow_stats
+    assert_bytes_identical(fast_bytes, slow_bytes, (improvements, block_size))
+    assert_stats_identical(fast_stats, slow_stats, (improvements, block_size))
 
 
 def test_static_memo_is_shared_and_clearable():
@@ -102,7 +104,7 @@ def test_static_memo_overflow_clears_wholesale(monkeypatch):
         fast_bytes, _ = _fast(reader, Improvement.ALL, 4096)
     # Fidelity survives constant eviction, and the memo stays bounded
     # (at most limit + 1 entries exist between overflow checks).
-    assert fast_bytes == slow_bytes
+    assert_bytes_identical(fast_bytes, slow_bytes, "memo overflow")
     assert static_memo_size() <= 5
     clear_static_memo()
 
@@ -115,9 +117,10 @@ def test_convert_file_block_and_legacy_outputs_identical(tmp_path):
     slow_out = tmp_path / "slow.champsimtrace"
     fast_result = convert_file(source, fast_out, Improvement.ALL)
     slow_result = convert_file(source, slow_out, Improvement.ALL, block_size=0)
-    assert fast_out.read_bytes() == slow_out.read_bytes()
-    assert conversion_stats_to_dict(fast_result.stats) == (
-        conversion_stats_to_dict(slow_result.stats)
+    assert_bytes_identical(fast_out.read_bytes(), slow_out.read_bytes())
+    assert_stats_identical(
+        conversion_stats_to_dict(fast_result.stats),
+        conversion_stats_to_dict(slow_result.stats),
     )
     assert fast_result.branch_rules == slow_result.branch_rules
 
@@ -143,4 +146,4 @@ def test_cli_block_size_flag(tmp_path):
         )
         == 0
     )
-    assert out_fast.read_bytes() == out_slow.read_bytes()
+    assert_bytes_identical(out_fast.read_bytes(), out_slow.read_bytes())

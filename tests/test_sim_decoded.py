@@ -10,6 +10,8 @@ from repro.champsim.regs import (
 from repro.champsim.trace import ChampSimInstr
 from repro.sim.decoded import DecodeCache, decode_trace
 
+from tests.diffharness import assert_stats_identical
+
 
 def cond(ip, taken):
     return ChampSimInstr(
@@ -173,15 +175,6 @@ def test_cache_rejects_nonpositive_maxsize():
 # Simulator / Engine wiring
 
 
-def _sim_stats(stats):
-    return (
-        stats.cycles,
-        stats.instructions,
-        stats.branches,
-        stats.mispredicted_branches,
-    )
-
-
 def test_simulator_results_identical_with_and_without_cache():
     from repro.sim import SimConfig, Simulator
 
@@ -189,9 +182,9 @@ def test_simulator_results_identical_with_and_without_cache():
     cached_sim = Simulator(SimConfig.main())  # "fresh" cache by default
     uncached_sim = Simulator(SimConfig.main(), decode_cache=None)
     first = cached_sim.run(stream)
-    assert _sim_stats(first) == _sim_stats(uncached_sim.run(stream))
+    assert_stats_identical(uncached_sim.run(stream), first, "uncached vs cached")
     # Re-running through the now-warm cache changes nothing.
-    assert _sim_stats(cached_sim.run(stream)) == _sim_stats(first)
+    assert_stats_identical(cached_sim.run(stream), first, "warm re-run")
     assert cached_sim.decode_cache.hits > 0
 
 
@@ -222,4 +215,4 @@ def test_engine_accepts_predecoded_and_raw_streams():
     decoded = decode_trace(stream)
     raw_stats = Engine(SimConfig.main()).run(stream)
     decoded_stats = Engine(SimConfig.main()).run(decoded)
-    assert _sim_stats(raw_stats) == _sim_stats(decoded_stats)
+    assert_stats_identical(decoded_stats, raw_stats, "decoded vs raw stream")

@@ -68,6 +68,48 @@ def test_cli_ipc1_with_prefetcher(converted, capsys):
     assert "IPC" in capsys.readouterr().out
 
 
+def test_simulator_engine_kwarg_is_bit_identical(converted):
+    from tests.diffharness import assert_stats_identical
+
+    instrs, _ = converted
+    scalar = Simulator(SimConfig.main()).run(instrs, BranchRules.PATCHED)
+    vector = Simulator(SimConfig.main(), engine="vector").run(
+        instrs, BranchRules.PATCHED
+    )
+    assert_stats_identical(vector, scalar, "Simulator(engine='vector')")
+
+
+def test_simulator_honours_config_engine(converted):
+    instrs, _ = converted
+    sim = Simulator(SimConfig.main(engine="vector"))
+    assert sim.engine == "vector"
+    stats = sim.run(instrs, BranchRules.PATCHED)
+    assert stats.instructions == len(instrs)
+
+
+def test_simulator_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="unknown engine"):
+        Simulator(SimConfig.main(), engine="simd")
+
+
+def test_cli_vector_engine_output_matches_scalar(converted, capsys):
+    _, path = converted
+    assert sim_main([str(path), "--rules", "patched"]) == 0
+    scalar_out = capsys.readouterr().out
+    assert sim_main([str(path), "--rules", "patched", "--engine", "vector"]) == 0
+    vector_out = capsys.readouterr().out
+    assert "IPC" in vector_out
+    assert vector_out == scalar_out
+
+
+def test_cli_rejects_unknown_engine(converted, capsys):
+    _, path = converted
+    with pytest.raises(SystemExit) as excinfo:
+        sim_main([str(path), "--engine", "simd"])
+    assert excinfo.value.code == 2
+    assert "--engine" in capsys.readouterr().err
+
+
 def test_config_presets():
     main = SimConfig.main()
     ipc1 = SimConfig.ipc1(l1i_prefetcher="D-JOLT")
