@@ -136,7 +136,7 @@ def _main_suite(args: argparse.Namespace, improvements) -> int:
         return 2
     cache = None if args.no_cache else ConversionCache(args.output_dir)
     jobs = None if args.jobs == 0 else args.jobs
-    start = time.time()
+    start = time.perf_counter()
     try:
         results = convert_suite(
             args.suite,
@@ -159,7 +159,7 @@ def _main_suite(args: argparse.Namespace, improvements) -> int:
             f"{stats.instructions_out} instructions "
             f"({result.branch_rules.value} rules)"
         )
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
     print(f"[converted {len(results)} traces in {elapsed:.1f}s jobs={args.jobs}]")
     if cache is not None:
         print(f"[cache {cache.describe()}]")
