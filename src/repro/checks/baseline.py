@@ -1,0 +1,109 @@
+"""Check baselines: suppress acknowledged findings, surface new ones.
+
+Same adoption mechanics as :mod:`repro.analysis.baseline` — a JSON file
+of finding fingerprints — with one deliberate addition: every entry
+carries a **justification** explaining why the finding is acceptable.
+A checker whose suppressions are unexplained rots into a mute checker;
+a baseline whose entries say *why* stays reviewable (and
+:func:`load_check_baseline` rejects entries with an empty one).
+
+Fingerprints (:meth:`repro.checks.findings.Finding.fingerprint`) omit
+the line number, so reformatting the file around an acknowledged
+finding does not resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.checks.engine import CheckReport
+from repro.checks.findings import Finding
+
+CHECK_BASELINE_SCHEMA = 1
+
+
+def write_check_baseline(
+    path: Union[str, Path],
+    reports: Iterable[CheckReport],
+    justifications: Optional[Mapping[str, str]] = None,
+) -> int:
+    """Record every finding of ``reports``; returns the entry count.
+
+    ``justifications`` maps fingerprints (or rule IDs, as a coarser
+    fallback) to the reason the finding is acceptable; entries without
+    one get the placeholder ``"TODO: justify"`` so review catches them.
+    """
+    justifications = dict(justifications or {})
+    entries: Dict[str, Dict[str, str]] = {}
+    for report in reports:
+        for finding in report.findings:
+            fingerprint = finding.fingerprint()
+            entries[fingerprint] = {
+                "finding": finding.render(),
+                "justification": justifications.get(
+                    fingerprint,
+                    justifications.get(finding.rule_id, "TODO: justify"),
+                ),
+            }
+    payload = {
+        "schema": CHECK_BASELINE_SCHEMA,
+        "findings": {fp: entries[fp] for fp in sorted(entries)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    return len(entries)
+
+
+def load_check_baseline(path: Union[str, Path]) -> Set[str]:
+    """The suppressed fingerprints in a baseline file.
+
+    Raises ``ValueError`` on schema mismatch or on any entry missing a
+    non-empty justification — unexplained suppressions fail loudly.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != CHECK_BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {payload.get('schema')!r}; "
+            f"expected {CHECK_BASELINE_SCHEMA}"
+        )
+    findings = payload["findings"]
+    for fingerprint, entry in findings.items():
+        justification = (entry or {}).get("justification", "")
+        if not str(justification).strip():
+            raise ValueError(
+                f"baseline {path} entry {fingerprint} has no "
+                "justification; every suppression must say why"
+            )
+    return set(findings)
+
+
+def apply_check_baseline(
+    findings: Iterable[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (kept, suppressed-count)."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if finding.fingerprint() in baseline:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def suppress_check_report(
+    report: CheckReport, baseline: Set[str]
+) -> CheckReport:
+    """A copy of ``report`` with baselined findings suppressed."""
+    kept, suppressed = apply_check_baseline(report.findings, baseline)
+    return CheckReport(
+        root=report.root,
+        files=report.files,
+        findings=kept,
+        rule_ids=report.rule_ids,
+        from_cache=report.from_cache,
+        suppressed=report.suppressed + suppressed,
+    )

@@ -1,0 +1,148 @@
+"""Content-addressed cache for check reports (keeps the CI gate fast).
+
+Checking is a pure function of the source bytes and the selected rules,
+so reports are cached under the SHA-256 of exactly those inputs,
+reusing the layout and atomic-write machinery of
+:mod:`repro.experiments.cache`::
+
+    <cache_dir>/checks/<key[:2]>/<key>.json
+
+The key folds in every file's content digest (sorted by path, so
+filesystem order cannot perturb it), :data:`CHECK_SCHEMA` for the
+payload layout, and :data:`CHECK_RULESET_VERSION`, which must be bumped
+whenever any rule's behaviour changes — stale reports then simply never
+hit.  Baselines are applied *after* cache replay, so editing a baseline
+never needs a cache flush.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.checks.engine import CheckReport
+from repro.checks.findings import Finding
+from repro.checks.project import CheckProject
+from repro.experiments.cache import _atomic_write_json, default_cache_dir
+from repro.obs.instruments import CacheCounters, InstrumentedCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.checks.engine import CheckRunner
+
+#: Bump on any change to the serialised report payload.
+CHECK_SCHEMA = 1
+
+#: Bump whenever any rule's behaviour changes (new rules, changed
+#: checks, changed messages) — cached reports from older rule sets must
+#: miss.
+CHECK_RULESET_VERSION = 1
+
+
+def check_key(
+    file_digests: Sequence[tuple],
+    rule_ids: Sequence[str],
+) -> str:
+    """Content hash identifying one check run.
+
+    ``file_digests`` is ``[(path, sha256), ...]``; it is sorted here so
+    callers cannot accidentally make the key enumeration-order
+    dependent.
+    """
+    payload = {
+        "schema": CHECK_SCHEMA,
+        "ruleset": CHECK_RULESET_VERSION,
+        "files": sorted([list(pair) for pair in file_digests]),
+        "rules": sorted(rule_ids),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def report_to_dict(report: CheckReport) -> dict:
+    """JSON-safe payload for one :class:`CheckReport`."""
+    return {
+        "root": report.root,
+        "files": report.files,
+        "rule_ids": list(report.rule_ids),
+        "findings": [f.to_dict() for f in report.findings],
+    }
+
+
+def report_from_dict(payload: dict, from_cache: bool = False) -> CheckReport:
+    return CheckReport(
+        root=payload["root"],
+        files=payload["files"],
+        findings=[Finding.from_dict(entry) for entry in payload["findings"]],
+        rule_ids=tuple(payload["rule_ids"]),
+        from_cache=from_cache,
+    )
+
+
+class CheckCache(InstrumentedCache):
+    """On-disk store of check reports, keyed by :func:`check_key`."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.counters = CacheCounters("checks")
+
+    def _path(self, key: str) -> Path:
+        return self.root / "checks" / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[CheckReport]:
+        """The cached report for ``key``, or None (counted as hit/miss)."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+            if payload.get("schema") != CHECK_SCHEMA:
+                raise ValueError("schema mismatch")
+            report = report_from_dict(payload["report"], from_cache=True)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.counters.miss()
+            return None
+        self.counters.hit()
+        return report
+
+    def store(self, key: str, report: CheckReport) -> None:
+        payload = {"schema": CHECK_SCHEMA, "report": report_to_dict(report)}
+        try:
+            _atomic_write_json(self._path(key), payload)
+        except OSError:
+            self.counters.store_error()
+            return
+        self.counters.store()
+
+    def describe(self) -> str:
+        return (
+            f"{self.counters.describe_hit_miss()} stores={self.stores} "
+            f"dir={self.root}"
+        )
+
+
+def check_paths_cached(
+    runner: "CheckRunner",
+    roots: Sequence[Union[str, Path]],
+    cache: Optional[CheckCache],
+) -> CheckReport:
+    """Check ``roots`` through ``cache`` (straight check when ``None``).
+
+    The key needs every file's digest, so the sources are read either
+    way; on a hit the parse and the rule passes are skipped, which is
+    where the time goes.
+    """
+    if cache is None:
+        return runner.check_paths(roots)
+    digests = [
+        (
+            CheckProject.display_path(path),
+            hashlib.sha256(path.read_bytes()).hexdigest(),
+        )
+        for path in CheckProject.iter_source_files(roots)
+    ]
+    key = check_key(digests, runner.rule_ids)
+    cached = cache.load(key)
+    if cached is not None:
+        return cached
+    report = runner.check_paths(roots)
+    cache.store(key, report)
+    return report

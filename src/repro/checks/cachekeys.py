@@ -1,0 +1,343 @@
+"""RC2xx — cache-key completeness rules.
+
+The run cache, the lint cache and the runner memo all assume their keys
+cover *every* input that can change the output.  PR 1 shipped exactly
+this bug: the experiment memo keyed on ``(name, l1i_prefetcher)``, so
+two configs sharing a name aliased to one result.  These rules make the
+class of bug fail the build:
+
+- **RC201** verifies the run-key derivation
+  (:func:`repro.experiments.cache.config_fingerprint` /
+  :func:`~repro.experiments.cache.run_key`) provably covers every
+  ``SimConfig`` field — either via ``dataclasses.asdict`` (full
+  coverage by construction) or by explicit enumeration, cross-checked
+  field by field.
+- **RC202** pins the ``SimConfig`` field list against the
+  :data:`~repro.checks.manifests.SIM_CONFIG_KEY_FIELDS` manifest, so a
+  *new* field fails until its key coverage is acknowledged.
+- **RC203** inspects the ``ExperimentRunner`` memo keys: any key that
+  projects the config to an attribute (``config.name``...) instead of
+  the full object is the PR 1 aliasing bug again.
+- **RC204** requires every persistent cache class to schema-stamp its
+  stored payloads and schema-check them on load, so layout changes
+  read as misses instead of misdecodes.
+
+All four locate their anchors structurally (a dataclass named
+``SimConfig``, a function named ``config_fingerprint``...) and skip
+silently when the anchor is outside the checked tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.checks.findings import Finding
+from repro.checks.project import (
+    CheckProject,
+    SourceModule,
+    dataclass_field_names,
+    dotted_name,
+    string_constants,
+)
+from repro.checks.rules import ProjectCheckRule, register
+
+#: Call names that serialise a whole dataclass (full key coverage).
+_FULL_COVERAGE_CALLS = frozenset(
+    {"asdict", "dataclasses.asdict", "fields", "dataclasses.fields"}
+)
+
+#: Persistence markers: a load/store pair touching any of these is an
+#: on-disk cache and must schema-stamp its payloads.
+_PERSISTENCE_CALLS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "open",
+        "loads",
+        "dumps",
+        "load",
+        "dump",
+        "_atomic_write_json",
+    }
+)
+
+
+def _sim_config_fields(
+    project: CheckProject,
+) -> Optional[Tuple[SourceModule, ast.ClassDef, List[str]]]:
+    found = project.find_class("SimConfig")
+    if found is None:
+        return None
+    module, node = found
+    return module, node, dataclass_field_names(node)
+
+
+def _function_calls(node: ast.AST) -> Set[str]:
+    """Dotted names of every call under ``node``."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name:
+                out.add(name)
+    return out
+
+
+@register
+class RunKeyCoverageRule(ProjectCheckRule):
+    rule_id = "RC201"
+    title = "Run-key derivation must cover every SimConfig field"
+    rationale = (
+        "config_fingerprint() feeds run_key(); if it enumerates fields "
+        "explicitly and misses one, two configs differing only in that "
+        "field share a cache entry."
+    )
+
+    def check(self, project: CheckProject) -> Iterator[Finding]:
+        anchor = _sim_config_fields(project)
+        fingerprint = project.find_function("config_fingerprint")
+        if anchor is None or fingerprint is None:
+            return
+        _, _, config_fields = anchor
+        fp_module, fp_node = fingerprint
+
+        calls = _function_calls(fp_node)
+        full_coverage = bool(
+            calls
+            & _FULL_COVERAGE_CALLS | {c for c in calls if c.endswith(".asdict")}
+        )
+        if not full_coverage:
+            covered = set(string_constants(fp_node))
+            covered |= {
+                node.attr
+                for node in ast.walk(fp_node)
+                if isinstance(node, ast.Attribute)
+            }
+            missing = [f for f in config_fields if f not in covered]
+            if missing:
+                for name in missing:
+                    yield self.finding(
+                        fp_module,
+                        fp_node,
+                        f"config_fingerprint() never serialises SimConfig "
+                        f"field {name!r}; runs differing only in it would "
+                        "alias to one cache entry",
+                    )
+            elif not covered & set(config_fields):
+                yield self.finding(
+                    fp_module,
+                    fp_node,
+                    "config_fingerprint() neither calls dataclasses.asdict "
+                    "nor enumerates SimConfig fields; key coverage cannot "
+                    "be verified",
+                )
+
+        run_key = project.find_function("run_key")
+        if run_key is not None:
+            rk_module, rk_node = run_key
+            rk_calls = _function_calls(rk_node)
+            uses_fingerprint = "config_fingerprint" in rk_calls or any(
+                c.endswith("config_fingerprint") or c.endswith("asdict")
+                for c in rk_calls
+            )
+            if not uses_fingerprint:
+                yield self.finding(
+                    rk_module,
+                    rk_node,
+                    "run_key() does not derive its config component via "
+                    "config_fingerprint()/asdict(); the key may not cover "
+                    "every SimConfig field",
+                )
+
+
+@register
+class ConfigKeyManifestRule(ProjectCheckRule):
+    rule_id = "RC202"
+    title = "SimConfig fields must match the pinned key manifest"
+    rationale = (
+        "SIM_CONFIG_KEY_FIELDS records which fields were verified to "
+        "reach the cache key; a new field fails the build until its "
+        "coverage is acknowledged, a removed field cannot linger."
+    )
+
+    def check(self, project: CheckProject) -> Iterator[Finding]:
+        anchor = _sim_config_fields(project)
+        if anchor is None:
+            return
+        cfg_module, cfg_node, config_fields = anchor
+        found = project.find_assignment("SIM_CONFIG_KEY_FIELDS")
+        if found is None:
+            # Deleting the manifest must not dodge the rule.
+            yield self.finding(
+                cfg_module,
+                cfg_node,
+                "SimConfig is defined but no SIM_CONFIG_KEY_FIELDS "
+                "manifest is in the checked tree; the key-coverage "
+                "tripwire cannot run",
+            )
+            return
+        manifest_module, manifest_node = found
+        value = getattr(manifest_node, "value", None)
+        manifest_fields: Sequence[str] = (
+            tuple(string_constants(value)) if value is not None else ()
+        )
+        manifest_set = set(manifest_fields)
+        for name in config_fields:
+            if name not in manifest_set:
+                yield self.finding(
+                    cfg_module,
+                    cfg_node,
+                    f"SimConfig field {name!r} is not acknowledged in "
+                    "SIM_CONFIG_KEY_FIELDS; verify it reaches run_key() "
+                    "(and both engines, RC402) then add it to the "
+                    "manifest",
+                )
+        field_set = set(config_fields)
+        for name in manifest_fields:
+            if name not in field_set:
+                yield self.finding(
+                    manifest_module,
+                    manifest_node,
+                    f"SIM_CONFIG_KEY_FIELDS entry {name!r} names no "
+                    "current SimConfig field; remove the stale entry",
+                )
+
+
+@register
+class MemoKeyAliasingRule(ProjectCheckRule):
+    rule_id = "RC203"
+    title = "Runner memo keys must carry the full config object"
+    rationale = (
+        "The PR 1 bug: memo keys built from config *projections* "
+        "(config.name, config.l1i_prefetcher) alias configs that "
+        "differ in any unprojected field."
+    )
+
+    _MEMO_ATTRS = frozenset({"_runs"})
+
+    def _memo_key_tuples(
+        self, func: ast.AST
+    ) -> List[ast.Tuple]:
+        """Tuple expressions that index the memo dict inside ``func``."""
+        tuples: List[ast.Tuple] = []
+        named_tuples = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Tuple
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        named_tuples.setdefault(target.id, node.value)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Subscript):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Attribute)
+                and value.attr in self._MEMO_ATTRS
+            ):
+                continue
+            index = node.slice
+            if isinstance(index, ast.Tuple):
+                tuples.append(index)
+            elif isinstance(index, ast.Name) and index.id in named_tuples:
+                tuples.append(named_tuples[index.id])
+        return tuples
+
+    def check(self, project: CheckProject) -> Iterator[Finding]:
+        anchor = project.find_class("ExperimentRunner")
+        if anchor is None:
+            return
+        module, cls_node = anchor
+        seen: Set[int] = set()
+        for func in cls_node.body:
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            for key_tuple in self._memo_key_tuples(func):
+                if id(key_tuple) in seen:
+                    continue
+                seen.add(id(key_tuple))
+                has_full_config = False
+                for element in key_tuple.elts:
+                    if (
+                        isinstance(element, ast.Name)
+                        and element.id == "config"
+                    ):
+                        has_full_config = True
+                    elif (
+                        isinstance(element, ast.Attribute)
+                        and isinstance(element.value, ast.Name)
+                        and element.value.id == "config"
+                    ):
+                        yield self.finding(
+                            module,
+                            element,
+                            f"memo key projects the config to "
+                            f"'config.{element.attr}'; key on the full "
+                            "config object so unprojected fields cannot "
+                            "alias",
+                        )
+                if not has_full_config:
+                    yield self.finding(
+                        module,
+                        key_tuple,
+                        "memo key tuple omits the full config object; "
+                        "configs differing in unkeyed fields would alias",
+                    )
+
+
+@register
+class CacheSchemaStampRule(ProjectCheckRule):
+    rule_id = "RC204"
+    title = "Persistent caches must schema-stamp and schema-check"
+    rationale = (
+        "An on-disk payload read by a newer layout must miss, not "
+        "misdecode: store() embeds a 'schema' field, load() verifies "
+        "it before trusting the payload."
+    )
+
+    def check(self, project: CheckProject) -> Iterator[Finding]:
+        for module in project.modules:
+            for node in module.tree.body:
+                if not (
+                    isinstance(node, ast.ClassDef)
+                    and node.name.endswith("Cache")
+                ):
+                    continue
+                methods = {
+                    stmt.name: stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                }
+                load_fn = methods.get("load")
+                store_fn = methods.get("store")
+                if load_fn is None or store_fn is None:
+                    continue
+                calls = _function_calls(load_fn) | _function_calls(store_fn)
+                persistent = any(
+                    call.rsplit(".", 1)[-1] in _PERSISTENCE_CALLS
+                    for call in calls
+                )
+                if not persistent:
+                    continue
+                if "schema" not in string_constants(store_fn):
+                    yield self.finding(
+                        module,
+                        store_fn,
+                        f"{node.name}.store() writes payloads without a "
+                        "'schema' stamp; layout changes would misdecode "
+                        "instead of missing",
+                    )
+                if "schema" not in string_constants(load_fn):
+                    yield self.finding(
+                        module,
+                        load_fn,
+                        f"{node.name}.load() never checks the payload "
+                        "'schema'; stale layouts would misdecode instead "
+                        "of missing",
+                    )

@@ -1,0 +1,204 @@
+"""``repro-check`` — AST-based invariant auditor for the repo's source.
+
+Audits Python source trees against the RC rule catalog — determinism
+(RC1xx), cache-key completeness (RC2xx), worker/pickle safety (RC3xx),
+and scalar/vector engine parity (RC4xx)::
+
+    repro-check src/repro                       # the CI gate
+    repro-check src/repro --select RC4          # just the parity diff
+    repro-check src/repro --format json
+    repro-check src/repro --write-baseline checks-baseline.json
+
+The exit code reflects the worst surviving finding: 0 (clean or info),
+1 (warnings), 2 (errors) — so CI can gate on ``repro-check`` directly.
+
+When ``checks-baseline.json`` exists in the current directory it is
+applied automatically (like a linter config file); ``--no-baseline``
+disables that, ``--baseline PATH`` points elsewhere.  Baseline entries
+must carry a justification — see :mod:`repro.checks.baseline`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro import obs
+from repro.obs import logutil
+
+#: Applied automatically when present in the working directory.
+DEFAULT_BASELINE = "checks-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description=(
+            "Audit Python source against the repo's determinism, "
+            "cache-key, worker-safety, and engine-parity invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="source files or directories to check"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule IDs/prefixes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule IDs/prefixes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        help=(
+            "baseline JSON file; suppress the findings recorded in it "
+            f"(default: ./{DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="do not apply any baseline, not even the default one",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="record every surviving finding into PATH and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "check-result cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-check every file even when cached results match",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    obs.add_obs_flags(parser)
+    logutil.add_logging_flags(parser)
+    return parser
+
+
+def _split_patterns(values: Sequence[str]) -> List[str]:
+    out: List[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    return default if default.is_file() else None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    logutil.configure_from_args(args)
+    obs.setup_cli("repro-check", args)
+
+    from repro.checks.reporters import (
+        render_check_catalog,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_check_catalog())
+        return 0
+    if not args.paths:
+        print("repro-check: no paths given", file=sys.stderr)
+        return 2
+
+    from repro.checks.baseline import (
+        load_check_baseline,
+        suppress_check_report,
+        write_check_baseline,
+    )
+    from repro.checks.cache import CheckCache, check_paths_cached
+    from repro.checks.engine import CheckRunner, CheckSummary
+    from repro.checks.rules import resolve_check_rules
+
+    try:
+        rules = resolve_check_rules(
+            select=_split_patterns(args.select) or None,
+            ignore=_split_patterns(args.ignore) or None,
+        )
+    except ValueError as exc:
+        print(f"repro-check: {exc}", file=sys.stderr)
+        return 2
+
+    runner = CheckRunner(rules=rules)
+    cache = None if args.no_cache else CheckCache(args.cache_dir)
+
+    baseline = None
+    baseline_path = _resolve_baseline_path(args)
+    if baseline_path is not None:
+        try:
+            baseline = load_check_baseline(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                f"repro-check: cannot read baseline: {exc}", file=sys.stderr
+            )
+            return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"repro-check: {path}: no such path", file=sys.stderr)
+        return 2
+
+    try:
+        report = check_paths_cached(runner, args.paths, cache)
+    except OSError as exc:
+        print(f"repro-check: {exc}", file=sys.stderr)
+        return 2
+    if baseline is not None:
+        report = suppress_check_report(report, baseline)
+    reports = [report]
+
+    if args.write_baseline:
+        count = write_check_baseline(args.write_baseline, reports)
+        print(
+            f"[baseline {args.write_baseline}: {count} finding(s) recorded]"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(reports))
+    else:
+        print(render_text(reports))
+        if cache is not None:
+            print(f"[check cache {cache.describe()}]")
+    return CheckSummary(reports=reports).exit_code()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

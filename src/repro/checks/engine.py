@@ -1,0 +1,224 @@
+"""The source-check engine: run the rule set over a parsed project.
+
+:class:`CheckRunner` mirrors :class:`repro.analysis.engine.TraceLinter`
+one layer up the stack — same registry/severity/exit-code design, but
+the input is the repo's own Python source instead of a trace stream.
+Module rules run once per file; project rules run once per
+:class:`~repro.checks.project.CheckProject` so they can correlate
+definitions across files (the RC2xx/RC4xx cross-checks).
+
+A file that fails to parse becomes an ``RC001`` error finding rather
+than silently dropping out of every rule's view — a broken file must
+fail the gate, not weaken it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.checks.findings import Finding, Severity
+from repro.checks.project import CheckProject, SourceModule, parse_module
+from repro.checks.rules import (
+    CheckRule,
+    ModuleCheckRule,
+    ProjectCheckRule,
+    resolve_check_rules,
+)
+
+#: Pseudo-rule ID for files the checker cannot parse.
+PARSE_ERROR_RULE_ID = "RC001"
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking one source tree."""
+
+    root: str
+    files: int
+    findings: List[Finding]
+    #: IDs of the rules that ran (selection-dependent; part of the cache key).
+    rule_ids: Tuple[str, ...]
+    #: True when the report was replayed from the check cache.
+    from_cache: bool = False
+    #: Findings suppressed by a baseline file (counted, not listed).
+    suppressed: int = 0
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(f.severity for f in self.findings)
+
+    def fired_rule_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted({f.rule_id for f in self.findings}))
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        cached = " (cached)" if self.from_cache else ""
+        suppressed = (
+            f" suppressed={self.suppressed}" if self.suppressed else ""
+        )
+        return (
+            f"{self.root}: {self.files} file(s), "
+            f"errors={self.errors} warnings={self.warnings} "
+            f"infos={self.count(Severity.INFO)}{suppressed}{cached}"
+        )
+
+
+@dataclass
+class CheckSummary:
+    """Aggregate of several reports (the CLI's exit status)."""
+
+    reports: List[CheckReport] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(report.errors for report in self.reports)
+
+    @property
+    def warnings(self) -> int:
+        return sum(report.warnings for report in self.reports)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        severities = [
+            report.max_severity
+            for report in self.reports
+            if report.max_severity is not None
+        ]
+        return max(severities) if severities else None
+
+    def exit_code(self) -> int:
+        """0 clean/info, 1 warnings, 2 errors."""
+        worst = self.max_severity
+        if worst is None or worst is Severity.INFO:
+            return 0
+        return 2 if worst is Severity.ERROR else 1
+
+
+class CheckRunner:
+    """Check source trees against the registered rule set.
+
+    Args:
+        rules: Rule instances to run; default is every registered rule
+            (see :func:`repro.checks.rules.resolve_check_rules`).
+    """
+
+    def __init__(self, rules: Optional[Sequence[CheckRule]] = None):
+        all_rules = (
+            list(rules) if rules is not None else resolve_check_rules()
+        )
+        self.module_rules: List[ModuleCheckRule] = [
+            rule for rule in all_rules if isinstance(rule, ModuleCheckRule)
+        ]
+        self.project_rules: List[ProjectCheckRule] = [
+            rule for rule in all_rules if isinstance(rule, ProjectCheckRule)
+        ]
+        self.rule_ids: Tuple[str, ...] = tuple(
+            sorted(rule.rule_id for rule in all_rules)
+        )
+
+    def check_project(
+        self,
+        project: CheckProject,
+        root: str = "<memory>",
+        parse_errors: Optional[Sequence[Finding]] = None,
+    ) -> CheckReport:
+        """Run the rule set over an already-parsed project."""
+        from repro import obs
+
+        findings: List[Finding] = list(parse_errors or [])
+        with obs.span("check.project", root=root) as check_span:
+            for module in project.modules:
+                for module_rule in self.module_rules:
+                    findings.extend(module_rule.check(module, project))
+            for project_rule in self.project_rules:
+                findings.extend(project_rule.check(project))
+            findings.sort(
+                key=lambda f: (f.path, f.line, f.rule_id, f.message)
+            )
+            check_span.set(
+                files=len(project.modules), findings=len(findings)
+            )
+        if obs.enabled():
+            obs.counter(
+                "repro_check_files_total", "Source files checked."
+            ).inc(len(project.modules))
+            fires = obs.counter(
+                "repro_check_rule_fires_total",
+                "Check findings emitted, by rule ID.",
+            )
+            by_rule: Dict[str, int] = {}
+            for finding in findings:
+                by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+            for rule_id, fired in by_rule.items():
+                fires.labels(rule=rule_id).inc(fired)
+        return CheckReport(
+            root=root,
+            files=len(project.modules),
+            findings=findings,
+            rule_ids=self.rule_ids,
+        )
+
+    def check_paths(
+        self, roots: Sequence[Union[str, Path]]
+    ) -> CheckReport:
+        """Parse every ``.py`` file under ``roots`` and check them."""
+        modules: List[SourceModule] = []
+        parse_errors: List[Finding] = []
+        for path in CheckProject.iter_source_files(roots):
+            source = path.read_text(encoding="utf-8")
+            display = CheckProject.display_path(path)
+            try:
+                modules.append(parse_module(display, source))
+            except SyntaxError as exc:
+                parse_errors.append(
+                    Finding(
+                        rule_id=PARSE_ERROR_RULE_ID,
+                        severity=Severity.ERROR,
+                        path=display,
+                        line=exc.lineno or 1,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        project = CheckProject(modules)
+        return self.check_project(
+            project,
+            root=", ".join(str(root) for root in roots),
+            parse_errors=parse_errors,
+        )
+
+
+def check_catalog() -> List[Dict[str, str]]:
+    """The full rule catalog (ID, severity, title, rationale, family)."""
+    from repro.checks.rules import all_check_rule_classes
+
+    families = {
+        "RC1": "determinism",
+        "RC2": "cache-keys",
+        "RC3": "workers",
+        "RC4": "parity",
+    }
+    return [
+        {
+            "rule_id": cls.rule_id,
+            "severity": cls.severity.label,
+            "title": cls.title,
+            "rationale": cls.rationale,
+            "family": families.get(cls.rule_id[:3], "other"),
+        }
+        for cls in all_check_rule_classes()
+    ]

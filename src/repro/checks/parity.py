@@ -1,0 +1,343 @@
+"""RC4xx — scalar/vector engine parity rules.
+
+``VectorEngine`` reimplements ``Engine``'s cycle loop as batched sweeps;
+``tests/test_vector_engine_differential.py`` proves the two produce
+identical numbers *for the counters both engines update*.  A counter
+update deleted from one side — or a config field only one side reads —
+is invisible to the differential harness whenever the golden expectations
+regenerate alongside.  These rules diff the two implementations
+statically:
+
+- **RC401** compares which ``SimStats`` counter fields each side
+  updates.  Scalar updates flow through the recorder methods
+  (``stats.count_branch()``...), so the rule first derives, from the
+  ``SimStats`` class body itself, which fields each recorder touches,
+  then credits a recorder call with all of them.
+- **RC402** compares which ``SimConfig`` fields each side reads: a knob
+  honoured by one engine and ignored by the other makes "same config,
+  different engine" silently non-comparable.
+- **RC403** requires ``SimStats.to_dict()`` to export every counter
+  field, so a new counter cannot be invisible in results and reports
+  (and, because RC401 keys off the field list, cannot dodge parity).
+
+Side membership is derived structurally, not from hard-coded paths.
+``VectorEngine`` subclasses ``Engine``, so code splits three ways:
+
+- *compared* — the ``Engine`` methods ``VectorEngine`` overrides (the
+  scalar implementations) versus the whole ``VectorEngine`` body;
+- *exclusive modules* — modules imported by only one engine module (the
+  scalar cache hierarchy vs. the flat hierarchy) join that side;
+- *shared* — inherited ``Engine`` methods, module-level helpers, and
+  modules both sides import run identically for both engines, so they
+  are excluded from both sides (as is the ``SimStats`` module itself,
+  which trivially mentions every field).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.findings import Finding
+from repro.checks.project import (
+    CheckProject,
+    SourceModule,
+    dataclass_field_names,
+    dotted_name,
+    string_constants,
+)
+from repro.checks.rules import ProjectCheckRule, register
+
+
+def _counter_fields(stats_cls: ast.ClassDef) -> List[str]:
+    """Annotated non-bool fields of SimStats (the reported counters)."""
+    counters = []
+    for stmt in stats_cls.body:
+        if not (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not stmt.target.id.startswith("_")
+        ):
+            continue
+        annotation = stmt.annotation
+        if isinstance(annotation, ast.Name) and annotation.id == "bool":
+            continue
+        counters.append(stmt.target.id)
+    return counters
+
+
+def _recorder_map(
+    stats_cls: ast.ClassDef, counter_fields: List[str]
+) -> Dict[str, Set[str]]:
+    """method name -> counter fields that method writes (``self.X``)."""
+    fields = set(counter_fields)
+    recorders: Dict[str, Set[str]] = {}
+    for stmt in stats_cls.body:
+        if not isinstance(stmt, ast.FunctionDef):
+            continue
+        touched = {
+            node.attr
+            for node in ast.walk(stmt)
+            if isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in fields
+        }
+        if touched:
+            recorders[stmt.name] = touched
+    return recorders
+
+
+def _import_suffixes(module: SourceModule) -> List[Tuple[str, ...]]:
+    """Path suffixes for every module imported by ``module``.
+
+    ``from repro.sim.flathier import FlatHierarchy`` yields
+    ``('repro', 'sim', 'flathier.py')``; relative imports resolve
+    against the importing module's own directory.
+    """
+    suffixes: List[Tuple[str, ...]] = []
+    package = module.parts[:-1]
+    for node in module.walk():
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                suffixes.append(tuple(alias.name.split(".")))
+        elif isinstance(node, ast.ImportFrom):
+            dotted = tuple(node.module.split(".")) if node.module else ()
+            if node.level:
+                base = package[: len(package) - (node.level - 1)]
+                suffixes.append(tuple(base) + dotted)
+            else:
+                suffixes.append(dotted)
+    return [s[:-1] + (s[-1] + ".py",) for s in suffixes if s]
+
+
+def _resolve_imports(
+    module: SourceModule, project: CheckProject
+) -> Set[str]:
+    """Paths of project modules that ``module`` imports."""
+    resolved: Set[str] = set()
+    by_suffix = {m.parts: m for m in project.modules}
+    for suffix in _import_suffixes(module):
+        package_suffix = suffix[:-1] + (
+            suffix[-1][: -len(".py")],
+            "__init__.py",
+        )
+        for candidate_parts, candidate in by_suffix.items():
+            if (
+                candidate_parts[-len(suffix):] == suffix
+                or candidate_parts[-len(package_suffix):] == package_suffix
+            ):
+                resolved.add(candidate.path)
+    return resolved
+
+
+#: One comparable code region: a module plus the subtree to scan.
+Region = Tuple[SourceModule, ast.AST]
+
+
+@dataclass
+class EngineSides:
+    """The two comparable sides plus their anchor modules."""
+
+    scalar_module: SourceModule
+    vector_module: SourceModule
+    scalar_regions: List[Region]
+    vector_regions: List[Region]
+
+
+def _engine_sides(project: CheckProject) -> Optional[EngineSides]:
+    """Comparable regions of the two engines, or None if either is absent."""
+    scalar = project.find_class("Engine")
+    vector = project.find_class("VectorEngine")
+    if scalar is None or vector is None:
+        return None
+    mod_a, cls_a = scalar
+    mod_b, cls_b = vector
+    stats = project.find_class("SimStats")
+    stats_path = stats[0].path if stats is not None else None
+
+    methods_a = {
+        stmt.name: stmt
+        for stmt in cls_a.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+    methods_b = {
+        stmt.name
+        for stmt in cls_b.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+    overridden = sorted(set(methods_a) & methods_b)
+    regions_a: List[Region] = [(mod_a, methods_a[name]) for name in overridden]
+    regions_b: List[Region] = [(mod_b, cls_b)]
+
+    imports_a = _resolve_imports(mod_a, project)
+    imports_b = _resolve_imports(mod_b, project)
+    shared = imports_a & imports_b
+    excluded = shared | {mod_a.path, mod_b.path}
+    if stats_path is not None:
+        excluded = excluded | {stats_path}
+
+    by_path = {m.path: m for m in project.modules}
+    regions_a += [
+        (by_path[p], by_path[p].tree) for p in sorted(imports_a - excluded)
+    ]
+    regions_b += [
+        (by_path[p], by_path[p].tree) for p in sorted(imports_b - excluded)
+    ]
+    return EngineSides(mod_a, mod_b, regions_a, regions_b)
+
+
+def _mentions_field(
+    side: List[Region],
+    field_name: str,
+    recorders: Dict[str, Set[str]],
+) -> bool:
+    """True when any side region updates ``field_name`` directly or via
+    a recorder-method call."""
+    implied = {m for m, touched in recorders.items() if field_name in touched}
+    for _, region in side:
+        for node in ast.walk(region):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr == field_name:
+                return True
+            if node.attr in implied:
+                return True
+    return False
+
+
+@register
+class StatsWriteParityRule(ProjectCheckRule):
+    rule_id = "RC401"
+    title = "Both engines must update every SimStats counter"
+    rationale = (
+        "A counter update deleted from one engine is invisible to "
+        "regenerated golden expectations; the two implementations then "
+        "report different physics for 'the same' run."
+    )
+
+    def check(self, project: CheckProject) -> Iterator[Finding]:
+        stats = project.find_class("SimStats")
+        sides = _engine_sides(project)
+        if stats is None or sides is None:
+            return
+        _, stats_cls = stats
+        counters = _counter_fields(stats_cls)
+        recorders = _recorder_map(stats_cls, counters)
+        for field_name in counters:
+            in_a = _mentions_field(sides.scalar_regions, field_name, recorders)
+            in_b = _mentions_field(sides.vector_regions, field_name, recorders)
+            if in_a and not in_b:
+                yield self.finding(
+                    sides.vector_module,
+                    None,
+                    f"vector engine side never updates "
+                    f"SimStats.{field_name}; the scalar engine does — "
+                    "the engines disagree on reported counters",
+                )
+            elif in_b and not in_a:
+                yield self.finding(
+                    sides.scalar_module,
+                    None,
+                    f"scalar engine side never updates "
+                    f"SimStats.{field_name}; the vector engine does — "
+                    "the engines disagree on reported counters",
+                )
+
+
+@register
+class ConfigReadParityRule(ProjectCheckRule):
+    rule_id = "RC402"
+    title = "Both engines must read the same SimConfig fields"
+    rationale = (
+        "A config knob honoured by one engine and ignored by the other "
+        "makes cross-engine comparisons of 'the same config' silently "
+        "meaningless."
+    )
+
+    def _config_reads(
+        self, side: List[Region], config_fields: Set[str]
+    ) -> Set[str]:
+        reads: Set[str] = set()
+        for _, region in side:
+            for node in ast.walk(region):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in config_fields
+                ):
+                    continue
+                receiver = dotted_name(node.value)
+                if receiver == "cfg" or receiver.endswith("config"):
+                    reads.add(node.attr)
+        return reads
+
+    def check(self, project: CheckProject) -> Iterator[Finding]:
+        config = project.find_class("SimConfig")
+        sides = _engine_sides(project)
+        if config is None or sides is None:
+            return
+        _, config_cls = config
+        fields = set(dataclass_field_names(config_cls))
+        reads_a = self._config_reads(sides.scalar_regions, fields)
+        reads_b = self._config_reads(sides.vector_regions, fields)
+        for field_name in sorted(reads_a - reads_b):
+            yield self.finding(
+                sides.vector_module,
+                None,
+                f"vector engine side never reads "
+                f"config.{field_name}; the scalar engine does — the "
+                "knob silently has no effect on one engine",
+            )
+        for field_name in sorted(reads_b - reads_a):
+            yield self.finding(
+                sides.scalar_module,
+                None,
+                f"scalar engine side never reads "
+                f"config.{field_name}; the vector engine does — the "
+                "knob silently has no effect on one engine",
+            )
+
+
+@register
+class StatsExportRule(ProjectCheckRule):
+    rule_id = "RC403"
+    title = "SimStats.to_dict must export every counter field"
+    rationale = (
+        "A counter missing from to_dict() is invisible in results, "
+        "reports, and the RC401 parity diff; new counters must be "
+        "wired through before they can silently drift."
+    )
+
+    def check(self, project: CheckProject) -> Iterator[Finding]:
+        stats = project.find_class("SimStats")
+        if stats is None:
+            return
+        module, stats_cls = stats
+        to_dict = next(
+            (
+                stmt
+                for stmt in stats_cls.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "to_dict"
+            ),
+            None,
+        )
+        if to_dict is None:
+            yield self.finding(
+                module,
+                stats_cls,
+                "SimStats has no to_dict(); counters cannot be "
+                "exported to results and reports",
+            )
+            return
+        exported = set(string_constants(to_dict))
+        for field_name in _counter_fields(stats_cls):
+            if field_name not in exported:
+                yield self.finding(
+                    module,
+                    to_dict,
+                    f"SimStats.to_dict() never exports "
+                    f"{field_name!r}; the counter is invisible in "
+                    "results and parity checks",
+                )

@@ -1,0 +1,219 @@
+"""Source-tree loading: parse every module once, share the ASTs.
+
+:class:`CheckProject` is the unit the checker operates on — a set of
+parsed :class:`SourceModule` objects plus lookup helpers the project
+rules use to find their anchor definitions (``SimConfig``,
+``config_fingerprint``, the two engines) *structurally*, by class or
+function name, rather than by hard-coded paths.  That keeps the rules
+robust to refactors and lets the negative-control fixtures under
+``tests/fixtures/checks/`` replay each violation in a miniature tree.
+
+Files are enumerated in sorted order (an RC106 discipline the checker
+itself must honour: report order and cache keys must not depend on
+filesystem iteration order).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: Directories never scanned (generated or environment content).
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python source file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    #: SHA-256 of the source bytes (feeds the report-cache key).
+    digest: str
+    #: Path components (``('src', 'repro', 'sim', 'engine.py')``) —
+    #: scope rules match on these, not on the dotted module name.
+    parts: Tuple[str, ...] = ()
+    _parents: Optional[Dict[ast.AST, ast.AST]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def parent_map(self) -> Dict[ast.AST, ast.AST]:
+        """child-node -> parent-node map for this module (built once)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+
+def parse_module(path: str, source: str) -> SourceModule:
+    """Parse one source string into a :class:`SourceModule`.
+
+    Raises ``SyntaxError`` — the caller (the engine) converts parse
+    failures into ``RC001`` findings so a broken file fails the check
+    run instead of silently dropping out of every rule's view.
+    """
+    return SourceModule(
+        path=path,
+        tree=ast.parse(source, filename=path),
+        source=source,
+        digest=hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        parts=tuple(Path(path).parts),
+    )
+
+
+class CheckProject:
+    """A set of parsed modules plus structural lookup helpers."""
+
+    def __init__(self, modules: Sequence[SourceModule]):
+        self.modules: List[SourceModule] = sorted(
+            modules, key=lambda m: m.path
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def iter_source_files(
+        cls, roots: Sequence[Union[str, Path]]
+    ) -> List[Path]:
+        """Every ``.py`` file under ``roots``, sorted, deduplicated."""
+        seen: Dict[Path, None] = {}
+        for root in roots:
+            root = Path(root)
+            if root.is_file():
+                candidates = [root]
+            else:
+                candidates = sorted(root.rglob("*.py"))
+            for candidate in candidates:
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    seen.setdefault(candidate, None)
+        return sorted(seen)
+
+    @staticmethod
+    def display_path(path: Path) -> str:
+        """CWD-relative rendering when possible.
+
+        Keeps reports readable and — because
+        :meth:`~repro.checks.findings.Finding.fingerprint` includes the
+        path — keeps baseline fingerprints identical whether the tree
+        was named relatively or absolutely.
+        """
+        try:
+            return str(path.resolve().relative_to(Path.cwd()))
+        except ValueError:
+            return str(path)
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "CheckProject":
+        """Build a project from in-memory ``{path: source}`` (tests)."""
+        return cls(
+            [parse_module(path, text) for path, text in sources.items()]
+        )
+
+    # ------------------------------------------------------------------
+    # structural lookups
+    # ------------------------------------------------------------------
+
+    def find_classes(
+        self, name: str
+    ) -> List[Tuple[SourceModule, ast.ClassDef]]:
+        """Every top-level class definition named ``name``."""
+        out = []
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    out.append((module, node))
+        return out
+
+    def find_class(
+        self, name: str
+    ) -> Optional[Tuple[SourceModule, ast.ClassDef]]:
+        """The first top-level class named ``name``, or None."""
+        found = self.find_classes(name)
+        return found[0] if found else None
+
+    def find_function(
+        self, name: str
+    ) -> Optional[Tuple[SourceModule, ast.FunctionDef]]:
+        """The first top-level function named ``name``, or None."""
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.FunctionDef) and node.name == name:
+                    return module, node
+        return None
+
+    def find_assignment(
+        self, name: str
+    ) -> Optional[Tuple[SourceModule, ast.AST]]:
+        """The first module-level assignment binding ``name``, or None."""
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and target.id == name:
+                            return module, node
+                elif isinstance(node, ast.AnnAssign):
+                    target = node.target
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return module, node
+        return None
+
+
+# ----------------------------------------------------------------------
+# small AST helpers shared by the rule modules
+# ----------------------------------------------------------------------
+
+
+def call_name(node: ast.Call) -> str:
+    """The called name — ``f`` for ``f(...)`` and ``o.f(...)`` alike."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for nested Attribute/Name chains ('' when dynamic)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def dataclass_field_names(cls_node: ast.ClassDef) -> List[str]:
+    """Annotated field names of a (data)class body, in source order."""
+    fields = []
+    for stmt in cls_node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            name = stmt.target.id
+            if not name.startswith("_"):
+                fields.append(name)
+    return fields
+
+
+def string_constants(node: ast.AST) -> List[str]:
+    """Every string-literal constant anywhere under ``node``."""
+    return [
+        sub.value
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+    ]

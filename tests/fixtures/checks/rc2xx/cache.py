@@ -1,0 +1,35 @@
+"""Negative control: lossy fingerprint, fingerprint-free run key, and a
+schema-free persistent cache (RC201, RC204)."""
+
+import json
+from pathlib import Path
+
+
+def config_fingerprint(config):
+    # Enumerates fields explicitly but drops 'depth' and 'new_knob'
+    # -> RC201 (one finding per missing field).
+    return {"name": config.name, "width": config.width}
+
+
+def run_key(trace, config):
+    # Never calls config_fingerprint()/asdict() -> RC201.
+    return f"{trace}:{config.name}"
+
+
+class ResultCache:
+    """Persists payloads but neither stamps nor checks a schema -> RC204."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def _path(self, key):
+        return self.root / f"{key}.json"
+
+    def load(self, key):
+        try:
+            return json.loads(self._path(key).read_text())
+        except OSError:
+            return None
+
+    def store(self, key, payload):
+        self._path(key).write_text(json.dumps(payload))

@@ -1,0 +1,12 @@
+"""Negative control: a config dataclass with incomplete key coverage."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    name: str = "base"
+    width: int = 4
+    depth: int = 16
+    # Not in SIM_CONFIG_KEY_FIELDS (keys.py) -> RC202.
+    new_knob: int = 0

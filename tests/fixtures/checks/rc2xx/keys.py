@@ -1,0 +1,5 @@
+"""Negative control: manifest that is both incomplete and stale."""
+
+# Missing 'new_knob' (RC202) and listing a field SimConfig no longer
+# has ('retired_knob', RC202 the other direction).
+SIM_CONFIG_KEY_FIELDS = ("name", "width", "depth", "retired_knob")

@@ -1,0 +1,17 @@
+"""Negative control: the PR 1 memo-key aliasing bug, verbatim (RC203)."""
+
+
+class ExperimentRunner:
+    def __init__(self):
+        self._runs = {}
+
+    def run(self, name, improvements, config):
+        # Projects the config to one field instead of keying on the
+        # whole object -> RC203 (projection + missing full config).
+        key = (name, improvements, config.l1i_prefetcher)
+        if key not in self._runs:
+            self._runs[key] = self._execute(name, improvements, config)
+        return self._runs[key]
+
+    def _execute(self, name, improvements, config):
+        return (name, improvements, config)

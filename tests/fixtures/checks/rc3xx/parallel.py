@@ -1,0 +1,20 @@
+"""Negative control for the RC3xx worker/pickle-safety rules."""
+
+import concurrent.futures
+
+# Module-level mutable in a pool-driving module -> RC302.
+_RESULTS = {}
+
+
+def fanout(tasks, log_path):
+    def local_worker(task):
+        return task * 2
+
+    handle = open(log_path, "w")
+    with concurrent.futures.ProcessPoolExecutor() as pool:
+        nested = [pool.submit(local_worker, t) for t in tasks]  # RC301
+        inline = pool.submit(lambda t: t, tasks[0])  # RC301
+        leaked = pool.submit(print, handle)  # RC303: open handle
+        lazy = pool.submit(sum, (t for t in tasks))  # RC303: generator
+    handle.close()
+    return nested, inline, leaked, lazy

@@ -1,0 +1,12 @@
+"""Negative control config shared by the two fixture engines."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    width: int = 4
+    bubble: int = 1
+
+
+SIM_CONFIG_KEY_FIELDS = ("width", "bubble")

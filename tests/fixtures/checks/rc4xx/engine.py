@@ -1,0 +1,17 @@
+"""Negative control scalar engine: the complete reference side."""
+
+from stats import SimStats
+
+
+class Engine:
+    def __init__(self, config):
+        self.config = config
+        self.stats = SimStats()
+
+    def run(self, n):
+        config = self.config
+        for _ in range(n * config.width * config.bubble):
+            self.stats.count_instruction()
+            self.stats.flushes += 1
+        self.stats.cycles = n
+        return self.stats

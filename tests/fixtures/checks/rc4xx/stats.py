@@ -1,0 +1,16 @@
+"""Negative control stats: one counter missing from to_dict (RC403)."""
+
+
+class SimStats:
+    enabled: bool = True
+    instructions: int = 0
+    cycles: int = 0
+    flushes: int = 0
+
+    def count_instruction(self):
+        if self.enabled:
+            self.instructions += 1
+
+    def to_dict(self):
+        # 'flushes' is never exported -> RC403.
+        return {"instructions": self.instructions, "cycles": self.cycles}

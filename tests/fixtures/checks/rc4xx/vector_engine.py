@@ -1,0 +1,15 @@
+"""Negative control vector engine: drops a counter and ignores a knob.
+
+Relative to ``engine.py`` this side never updates ``stats.flushes``
+(RC401) and never reads ``config.bubble`` (RC402).
+"""
+
+from engine import Engine
+
+
+class VectorEngine(Engine):
+    def run(self, n):
+        config = self.config
+        self.stats.instructions += n * config.width
+        self.stats.cycles = n
+        return self.stats

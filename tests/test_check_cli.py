@@ -1,0 +1,138 @@
+"""CLI tests for ``repro-check``: exit codes, formats, baselines, cache."""
+
+import json
+from pathlib import Path
+
+from repro.checks import cli as check_cli
+
+REPO_ROOT = Path(__file__).parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "checks"
+
+
+def run_check(argv, tmp_path):
+    """Invoke repro-check with an isolated cache directory."""
+    return check_cli.main(
+        ["--cache-dir", str(tmp_path / "cache"), "--no-baseline", *argv]
+    )
+
+
+def test_list_rules(tmp_path, capsys):
+    assert check_cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RC101", "RC201", "RC301", "RC401"):
+        assert rule_id in out
+
+
+def test_no_paths_is_usage_error(capsys):
+    assert check_cli.main([]) == 2
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert run_check([str(tmp_path / "nope")], tmp_path) == 2
+
+
+def test_unknown_select_is_usage_error(tmp_path, capsys):
+    assert run_check(["--select", "RC9", str(FIXTURES)], tmp_path) == 2
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean"
+    clean.mkdir()
+    (clean / "ok.py").write_text("def f():\n    return 1\n")
+    assert run_check([str(clean)], tmp_path) == 0
+    assert "errors=0" in capsys.readouterr().out
+
+
+def test_error_fixture_exits_two(tmp_path, capsys):
+    code = run_check([str(FIXTURES / "rc1xx")], tmp_path)
+    assert code == 2
+    assert "RC101" in capsys.readouterr().out
+
+
+def test_warning_only_run_exits_one(tmp_path, capsys):
+    code = run_check(
+        ["--select", "RC302", str(FIXTURES / "rc3xx")], tmp_path
+    )
+    assert code == 1
+
+
+def test_json_format(tmp_path, capsys):
+    code = run_check(
+        ["--format", "json", str(FIXTURES / "rc4xx")], tmp_path
+    )
+    assert code == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["exit_code"] == 2
+    fired = {
+        finding["rule_id"]
+        for report in payload["reports"]
+        for finding in report["findings"]
+    }
+    assert fired == {"RC401", "RC402", "RC403"}
+
+
+def test_write_then_apply_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert (
+        run_check(
+            [
+                "--write-baseline",
+                str(baseline),
+                str(FIXTURES / "rc3xx"),
+            ],
+            tmp_path,
+        )
+        == 0
+    )
+    code = check_cli.main(
+        [
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--baseline",
+            str(baseline),
+            str(FIXTURES / "rc3xx"),
+        ]
+    )
+    assert code == 0
+    assert "suppressed=" in capsys.readouterr().out
+
+
+def test_default_baseline_autoload(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    baseline = tmp_path / check_cli.DEFAULT_BASELINE
+    assert (
+        run_check(
+            [
+                "--write-baseline",
+                str(baseline),
+                str(FIXTURES / "rc1xx"),
+            ],
+            tmp_path,
+        )
+        == 0
+    )
+    # Without --no-baseline the CWD default applies and suppresses all.
+    code = check_cli.main(
+        ["--cache-dir", str(tmp_path / "cache"), str(FIXTURES / "rc1xx")]
+    )
+    assert code == 0
+
+
+def test_cache_hit_on_second_run(tmp_path, capsys):
+    target = str(FIXTURES / "rc2xx")
+    assert run_check([target], tmp_path) == 2
+    capsys.readouterr()
+    assert run_check([target], tmp_path) == 2
+    out = capsys.readouterr().out
+    assert "(cached)" in out
+    assert "hits=1" in out
+
+
+def test_repo_gate_command_passes(tmp_path, capsys, monkeypatch):
+    """The exact CI invocation: ``repro-check src/repro`` from the root."""
+    monkeypatch.chdir(REPO_ROOT)
+    code = check_cli.main(
+        ["--cache-dir", str(tmp_path / "cache"), "src/repro"]
+    )
+    assert code == 0
+    assert "errors=0" in capsys.readouterr().out
