@@ -18,7 +18,7 @@ Two studies back the paper's discussion sections:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.core.improvements import Improvement
 from repro.experiments.runner import ExperimentRunner, geomean
@@ -146,7 +146,7 @@ class PrfRow:
 
 
 def finite_prf_study(
-    runner: ExperimentRunner, sizes=(0, 96, 48)
+    runner: ExperimentRunner, sizes: Sequence[int] = (0, 96, 48)
 ) -> List[PrfRow]:
     """Section 4.2's hypothesis: with a finite physical register file,
     the register-forging/dropping inaccuracies of the original converter

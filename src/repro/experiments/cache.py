@@ -216,7 +216,7 @@ class ResultCache(InstrumentedCache):
     a sweep must survive a broken cache directory.
     """
 
-    def __init__(self, root: Optional[Union[str, Path]] = None):
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.counters = CacheCounters("result")
 
@@ -271,7 +271,7 @@ class ConversionCache:
     matches *and* the output file still hashes to the recorded digest.
     """
 
-    def __init__(self, output_dir: Union[str, Path]):
+    def __init__(self, output_dir: Union[str, Path]) -> None:
         self.output_dir = Path(output_dir)
         self.counters = CacheCounters("conversion")
 

@@ -46,7 +46,7 @@ class RunTask:
 class TaskFailure(RuntimeError):
     """A task kept failing after its retry; carries worker tracebacks."""
 
-    def __init__(self, failures: Sequence[Tuple[Any, str]]):
+    def __init__(self, failures: Sequence[Tuple[Any, str]]) -> None:
         self.failures = list(failures)
         names = ", ".join(repr(_task_label(task)) for task, _ in self.failures)
         details = "\n\n".join(tb for _, tb in self.failures)

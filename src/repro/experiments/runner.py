@@ -83,7 +83,7 @@ class ExperimentRunner:
         cache: Optional["ResultCache"] = None,
         jobs: int = 1,
         engine: Optional[str] = None,
-    ):
+    ) -> None:
         self.instructions = instructions
         self.limit = limit
         self.stride = stride

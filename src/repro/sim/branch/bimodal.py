@@ -11,7 +11,7 @@ from repro.sim.branch.base import DirectionPredictor
 class Bimodal(DirectionPredictor):
     """Classic table of saturating 2-bit counters indexed by PC."""
 
-    def __init__(self, table_bits: int = 14):
+    def __init__(self, table_bits: int = 14) -> None:
         self._mask = (1 << table_bits) - 1
         self._table: List[int] = [2] * (1 << table_bits)  # weakly taken
 

@@ -17,7 +17,7 @@ class BTB:
     matching ChampSim's accounting).
     """
 
-    def __init__(self, entries: int = 16384, ways: int = 8):
+    def __init__(self, entries: int = 16384, ways: int = 8) -> None:
         if entries % ways:
             raise ValueError("entries must be a multiple of ways")
         self._num_sets = entries // ways

@@ -16,7 +16,7 @@ class GShare(DirectionPredictor):
     the same.
     """
 
-    def __init__(self, table_bits: int = 16, history_bits: int = 16):
+    def __init__(self, table_bits: int = 16, history_bits: int = 16) -> None:
         self._mask = (1 << table_bits) - 1
         self._table: List[int] = [2] * (1 << table_bits)
         self._history = 0

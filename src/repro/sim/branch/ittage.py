@@ -29,7 +29,7 @@ class ITTAGE:
         tag_bits: int = 10,
         min_history: int = 4,
         max_history: int = 64,
-    ):
+    ) -> None:
         self._num_tables = num_tables
         self._table_mask = (1 << table_bits) - 1
         self._tag_mask = (1 << tag_bits) - 1

@@ -15,7 +15,7 @@ from typing import List, Optional
 class ReturnAddressStack:
     """Bounded LIFO of predicted return addresses."""
 
-    def __init__(self, size: int = 64):
+    def __init__(self, size: int = 64) -> None:
         self._size = size
         self._stack: List[int] = []
 

@@ -37,7 +37,7 @@ class Tage(DirectionPredictor):
         min_history: int = 4,
         max_history: int = 128,
         seed: int = 0xC0FFEE,
-    ):
+    ) -> None:
         self._num_tables = num_tables
         self._table_mask = (1 << table_bits) - 1
         self._tag_mask = (1 << tag_bits) - 1

@@ -44,7 +44,7 @@ class LoopPredictor:
 
     CONFIRMATIONS = 3
 
-    def __init__(self, table_size: int = 256):
+    def __init__(self, table_size: int = 256) -> None:
         self._table: Dict[int, _LoopEntry] = {}
         self._table_size = table_size
 
@@ -100,7 +100,7 @@ class StatisticalCorrector:
     TAGE prediction.
     """
 
-    def __init__(self, table_bits: int = 12, num_tables: int = 3):
+    def __init__(self, table_bits: int = 12, num_tables: int = 3) -> None:
         self._mask = (1 << table_bits) - 1
         self._tables: List[List[int]] = [
             [0] * (1 << table_bits) for _ in range(num_tables)
@@ -140,7 +140,7 @@ class StatisticalCorrector:
 class TageSCL(DirectionPredictor):
     """The composed predictor: loop override → TAGE → corrector vote."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.tage = Tage()
         self.loop = LoopPredictor()
         self.corrector = StatisticalCorrector()

@@ -34,7 +34,7 @@ class Cache:
         latency: int,
         policy: Optional[ReplacementPolicy] = None,
         name: str = "cache",
-    ):
+    ) -> None:
         if size % (ways * LINE_SIZE):
             raise ValueError("size must be a multiple of ways * line size")
         self.name = name

@@ -37,7 +37,7 @@ class AccessResult:
 class CacheHierarchy:
     """L1I + L1D over a shared L2 over the LLC over DRAM."""
 
-    def __init__(self, config: SimConfig, stats: SimStats):
+    def __init__(self, config: SimConfig, stats: SimStats) -> None:
         self.config = config
         self.stats = stats
         self.l1i = Cache(*config.l1i, name="L1I")

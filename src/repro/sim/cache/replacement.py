@@ -72,7 +72,7 @@ class SRRIP(ReplacementPolicy):
 class RandomReplacement(ReplacementPolicy):
     """Uniform random victim (deterministic seed)."""
 
-    def __init__(self, seed: int = 1234):
+    def __init__(self, seed: int = 1234) -> None:
         self._rng = random.Random(seed)
 
     def on_hit(self, set_state: Dict[int, int], line: int) -> None:

@@ -89,7 +89,7 @@ class SimConfig:
     warmup_fraction: float = 0.0
 
     @classmethod
-    def main(cls, **overrides) -> "SimConfig":
+    def main(cls, **overrides: object) -> "SimConfig":
         """The paper's Section 4 setup (ChampSim ``main`` @ 2bba2bd).
 
         16K-entry BTB, 64KB-class TAGE-SC-L-style direction predictor and
@@ -99,7 +99,7 @@ class SimConfig:
         return replace(cls(name="main"), **overrides)
 
     @classmethod
-    def ipc1(cls, l1i_prefetcher: str = "", **overrides) -> "SimConfig":
+    def ipc1(cls, l1i_prefetcher: str = "", **overrides: object) -> "SimConfig":
         """The IPC-1 contest configuration.
 
         No decoupled front-end (the methodological gap Ishii et al. point

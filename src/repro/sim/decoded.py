@@ -79,7 +79,7 @@ class DecodeCache:
 
     __slots__ = ("maxsize", "hits", "misses", "_entries")
 
-    def __init__(self, maxsize: int = DECODE_CACHE_SIZE):
+    def __init__(self, maxsize: int = DECODE_CACHE_SIZE) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
@@ -173,7 +173,7 @@ class DecodedColumns:
         "max_reg",
     )
 
-    def __init__(self, decoded: Sequence[DecodedInstr]):
+    def __init__(self, decoded: Sequence[DecodedInstr]) -> None:
         self.decoded = (
             decoded if isinstance(decoded, list) else list(decoded)
         )

@@ -54,7 +54,7 @@ class _TimedCalls:
 
     __slots__ = ("_obj", "_times", "_keys")
 
-    def __init__(self, obj: Any, times: Dict[str, float], keys: Dict[str, str]):
+    def __init__(self, obj: Any, times: Dict[str, float], keys: Dict[str, str]) -> None:
         self._obj = obj
         self._times = times
         self._keys = keys
@@ -140,7 +140,7 @@ class Engine:
 
     def __init__(
         self, config: SimConfig, decode_cache: "Optional[DecodeCache]" = None
-    ):
+    ) -> None:
         self.config = config
         self.decode_cache = decode_cache
         self.stats = SimStats()
@@ -155,7 +155,9 @@ class Engine:
         self.ras = ReturnAddressStack(config.ras_size)
         self.ittage = ITTAGE() if config.indirect_predictor == "ittage" else None
 
-    def _build_hierarchy(self, config: SimConfig, stats: SimStats):
+    def _build_hierarchy(
+        self, config: SimConfig, stats: SimStats
+    ) -> CacheHierarchy:
         """Hierarchy factory hook; the vector engine swaps in its
         flattened mirror here."""
         return CacheHierarchy(config, stats)

@@ -63,7 +63,7 @@ class _FlatLevel:
 
     __slots__ = ("name", "latency", "num_sets", "ways", "sets", "ready", "clock")
 
-    def __init__(self, geometry: CacheGeometry, name: str):
+    def __init__(self, geometry: CacheGeometry, name: str) -> None:
         size, ways, latency = geometry
         if size % (ways * LINE_SIZE):
             raise ValueError("size must be a multiple of ways * line size")
@@ -129,7 +129,7 @@ class FlatHierarchy:
     hierarchy would have counted call by call.
     """
 
-    def __init__(self, config: SimConfig, stats: SimStats):
+    def __init__(self, config: SimConfig, stats: SimStats) -> None:
         self.config = config
         self.stats = stats
         self.l1i = _FlatLevel(config.l1i, "L1I")

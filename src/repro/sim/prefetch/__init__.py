@@ -9,6 +9,8 @@ re-ranks in Table 3 live in :mod:`repro.sim.prefetch.ipc1` and are built
 by :func:`make_instruction_prefetcher`.
 """
 
+from typing import Optional
+
 from repro.sim.prefetch.base import DataPrefetcher, InstructionPrefetcher
 from repro.sim.prefetch.ip_stride import IpStridePrefetcher
 from repro.sim.prefetch.next_line import NextLinePrefetcher
@@ -18,7 +20,9 @@ from repro.sim.prefetch.ipc1 import (
 )
 
 
-def make_data_prefetcher(name: str, level: str):
+def make_data_prefetcher(
+    name: str, level: str
+) -> Optional[DataPrefetcher]:
     """Build a data prefetcher by name ('' → None)."""
     if not name:
         return None

@@ -3,9 +3,24 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Protocol
 
 from repro.champsim.branch_info import BranchType
+
+
+class PrefetchSink(Protocol):
+    """What a prefetcher may ask of the memory system.
+
+    Both hierarchies (:class:`~repro.sim.cache.hierarchy.CacheHierarchy`
+    and :class:`~repro.sim.flathier.FlatHierarchy`) satisfy this; the
+    prefetchers stay agnostic to which engine is driving them.
+    """
+
+    def prefetch_data(
+        self, addr: int, now: int, fill_l1: bool = False
+    ) -> None: ...
+
+    def prefetch_instruction(self, addr: int, now: int) -> None: ...
 
 
 class DataPrefetcher(abc.ABC):
@@ -13,7 +28,7 @@ class DataPrefetcher(abc.ABC):
 
     @abc.abstractmethod
     def on_access(
-        self, ip: int, addr: int, hit: bool, hierarchy, now: int
+        self, ip: int, addr: int, hit: bool, hierarchy: PrefetchSink, now: int
     ) -> None:
         """Called on every demand access at the level this prefetcher guards."""
 
@@ -33,7 +48,7 @@ class InstructionPrefetcher(abc.ABC):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

@@ -9,19 +9,19 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.sim.prefetch.base import DataPrefetcher
+from repro.sim.prefetch.base import DataPrefetcher, PrefetchSink
 
 
 class IpStridePrefetcher(DataPrefetcher):
     """Classic per-IP stride detection with confidence."""
 
-    def __init__(self, table_size: int = 1024, degree: int = 3, fill_l1: bool = True):
+    def __init__(self, table_size: int = 1024, degree: int = 3, fill_l1: bool = True) -> None:
         self._table: OrderedDict = OrderedDict()
         self._table_size = table_size
         self._degree = degree
         self._fill_l1 = fill_l1
 
-    def on_access(self, ip: int, addr: int, hit: bool, hierarchy, now: int) -> None:
+    def on_access(self, ip: int, addr: int, hit: bool, hierarchy: PrefetchSink, now: int) -> None:
         entry = self._table.get(ip)
         if entry is None:
             if len(self._table) >= self._table_size:

@@ -19,6 +19,9 @@ TAP         temporal ancestry replay of the global miss stream
 ========== ==========================================================
 """
 
+from typing import Optional
+
+from repro.sim.prefetch.base import InstructionPrefetcher
 from repro.sim.prefetch.ipc1.djolt import DJolt
 from repro.sim.prefetch.ipc1.jip import JIP
 from repro.sim.prefetch.ipc1.mana import MANA
@@ -41,7 +44,7 @@ IPC1_PREFETCHERS = {
 }
 
 
-def make_instruction_prefetcher(name: str):
+def make_instruction_prefetcher(name: str) -> Optional[InstructionPrefetcher]:
     """Build an instruction prefetcher from its championship name.
 
     '' returns None (no prefetcher).

@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.champsim.branch_info import BranchType
 from repro.sim.cache.cache import LINE_SIZE
-from repro.sim.prefetch.base import InstructionPrefetcher
+from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 #: Lines per region (region = 8 cachelines = 512B of code).
 REGION_LINES = 8
@@ -23,7 +23,7 @@ REGION_BYTES = REGION_LINES * LINE_SIZE
 class Barca(InstructionPrefetcher):
     """Region footprint record/replay with neighbour search."""
 
-    def __init__(self, table_size: int = 2048, search_neighbours: int = 1):
+    def __init__(self, table_size: int = 2048, search_neighbours: int = 1) -> None:
         #: region base -> bitmap of touched lines
         self._regions: OrderedDict = OrderedDict()
         self._table_size = table_size
@@ -41,7 +41,7 @@ class Barca(InstructionPrefetcher):
         self._regions.move_to_end(region)
         self._regions[region] = entry | (1 << bit)
 
-    def _replay(self, region: int, hierarchy, now: int) -> None:
+    def _replay(self, region: int, hierarchy: PrefetchSink, now: int) -> None:
         bitmap = self._regions.get(region)
         if bitmap is None:
             return
@@ -53,7 +53,7 @@ class Barca(InstructionPrefetcher):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

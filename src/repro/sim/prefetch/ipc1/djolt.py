@@ -13,7 +13,7 @@ from typing import Deque, List, Optional, Tuple
 
 from repro.champsim.branch_info import BranchType
 from repro.sim.cache.cache import LINE_SIZE
-from repro.sim.prefetch.base import InstructionPrefetcher
+from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class DJolt(InstructionPrefetcher):
@@ -24,7 +24,7 @@ class DJolt(InstructionPrefetcher):
         distances: Tuple[int, ...] = (2, 4, 8, 16),
         table_size: int = 2048,
         lines_per_entry: int = 4,
-    ):
+    ) -> None:
         self._distances = distances
         self._tables: List[OrderedDict] = [OrderedDict() for _ in distances]
         self._table_size = table_size
@@ -55,7 +55,7 @@ class DJolt(InstructionPrefetcher):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

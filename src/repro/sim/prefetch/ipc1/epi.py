@@ -15,7 +15,7 @@ from typing import Deque, Optional, Tuple
 
 from repro.champsim.branch_info import BranchType
 from repro.sim.cache.cache import LINE_SIZE
-from repro.sim.prefetch.base import InstructionPrefetcher
+from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class EPI(InstructionPrefetcher):
@@ -28,7 +28,7 @@ class EPI(InstructionPrefetcher):
         latency_target: int = 40,
         history_len: int = 64,
         sequential_degree: int = 4,
-    ):
+    ) -> None:
         #: Like the submitted EPI, a sequential next-line engine backs the
         #: entangling tables.
         self._sequential_degree = sequential_degree
@@ -69,7 +69,7 @@ class EPI(InstructionPrefetcher):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

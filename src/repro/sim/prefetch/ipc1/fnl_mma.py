@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.champsim.branch_info import BranchType
 from repro.sim.cache.cache import LINE_SIZE
-from repro.sim.prefetch.base import InstructionPrefetcher
+from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class FNLMMA(InstructionPrefetcher):
@@ -25,7 +25,7 @@ class FNLMMA(InstructionPrefetcher):
         miss_map_size: int = 2048,
         max_next_lines: int = 4,
         chain_depth: int = 3,
-    ):
+    ) -> None:
         #: line -> how many sequential successors proved useful (0..max)
         self._footprint: OrderedDict = OrderedDict()
         self._footprint_size = footprint_size
@@ -51,7 +51,7 @@ class FNLMMA(InstructionPrefetcher):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

@@ -15,13 +15,13 @@ from typing import Optional
 
 from repro.champsim.branch_info import BranchType
 from repro.sim.cache.cache import LINE_SIZE
-from repro.sim.prefetch.base import InstructionPrefetcher
+from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class JIP(InstructionPrefetcher):
     """Jump-site target + run-length replay ("jumpers")."""
 
-    def __init__(self, table_size: int = 4096, max_run: int = 12):
+    def __init__(self, table_size: int = 4096, max_run: int = 12) -> None:
         #: branch ip -> [target line, run length in lines]
         self._jumpers: OrderedDict = OrderedDict()
         self._table_size = table_size
@@ -45,7 +45,7 @@ class JIP(InstructionPrefetcher):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.champsim.branch_info import BranchType
 from repro.sim.cache.cache import LINE_SIZE
-from repro.sim.prefetch.base import InstructionPrefetcher
+from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 #: Footprint window: lines recorded relative to the trigger.
 WINDOW = 8
@@ -21,7 +21,7 @@ WINDOW = 8
 class MANA(InstructionPrefetcher):
     """Spatial footprint record/replay with trigger chaining."""
 
-    def __init__(self, table_size: int = 2048, chain_depth: int = 2):
+    def __init__(self, table_size: int = 2048, chain_depth: int = 2) -> None:
         #: trigger line -> [footprint bitmap, next trigger line or None]
         self._table: OrderedDict = OrderedDict()
         self._table_size = table_size
@@ -29,7 +29,7 @@ class MANA(InstructionPrefetcher):
         self._current_trigger: Optional[int] = None
         self._prev_trigger: Optional[int] = None
 
-    def _entry(self, trigger: int):
+    def _entry(self, trigger: int) -> list:
         entry = self._table.get(trigger)
         if entry is None:
             if len(self._table) >= self._table_size:
@@ -39,7 +39,7 @@ class MANA(InstructionPrefetcher):
             self._table.move_to_end(trigger)
         return entry
 
-    def _replay(self, trigger: int, hierarchy, now: int) -> None:
+    def _replay(self, trigger: int, hierarchy: PrefetchSink, now: int) -> None:
         cursor: Optional[int] = trigger
         for _ in range(self._chain_depth):
             if cursor is None:
@@ -57,7 +57,7 @@ class MANA(InstructionPrefetcher):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

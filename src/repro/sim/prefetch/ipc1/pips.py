@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.champsim.branch_info import BranchType
 from repro.sim.cache.cache import LINE_SIZE
-from repro.sim.prefetch.base import InstructionPrefetcher
+from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class PIPS(InstructionPrefetcher):
@@ -23,7 +23,7 @@ class PIPS(InstructionPrefetcher):
         table_size: int = 4096,
         successors_per_line: int = 3,
         scout_depth: int = 4,
-    ):
+    ) -> None:
         #: line -> {successor line -> saturating weight}
         self._graph: OrderedDict = OrderedDict()
         self._table_size = table_size
@@ -60,7 +60,7 @@ class PIPS(InstructionPrefetcher):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

@@ -13,13 +13,13 @@ from typing import Deque, Optional
 
 from repro.champsim.branch_info import BranchType
 from repro.sim.cache.cache import LINE_SIZE
-from repro.sim.prefetch.base import InstructionPrefetcher
+from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class TAP(InstructionPrefetcher):
     """Global temporal miss-stream replay."""
 
-    def __init__(self, stream_size: int = 4096, replay_depth: int = 3):
+    def __init__(self, stream_size: int = 4096, replay_depth: int = 3) -> None:
         #: the temporal miss stream (bounded)
         self._stream: Deque[int] = deque(maxlen=stream_size)
         #: line -> index hint of its last occurrence in the stream
@@ -30,7 +30,7 @@ class TAP(InstructionPrefetcher):
         self,
         line_addr: int,
         hit: bool,
-        hierarchy,
+        hierarchy: PrefetchSink,
         now: int,
         branch_ip: Optional[int] = None,
         branch_type: BranchType = BranchType.NOT_BRANCH,

@@ -96,7 +96,7 @@ class Simulator:
         config: SimConfig,
         decode_cache: "Union[Optional[DecodeCache], str]" = "fresh",
         engine: Optional[str] = None,
-    ):
+    ) -> None:
         self.config = config
         if decode_cache == "fresh":
             decode_cache = DecodeCache()

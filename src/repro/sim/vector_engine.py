@@ -58,6 +58,7 @@ from repro.sim.engine import (
     emit_engine_obs,
     wrap_branch_components,
 )
+from repro.sim.config import SimConfig
 from repro.sim.flathier import SRC_L1, FlatHierarchy
 from repro.sim.stats import SimStats
 
@@ -85,7 +86,9 @@ class VectorEngine(Engine):
     across runs the way the decode cache reuses decodes.
     """
 
-    def _build_hierarchy(self, config, stats):
+    def _build_hierarchy(
+        self, config: SimConfig, stats: SimStats
+    ) -> FlatHierarchy:
         return FlatHierarchy(config, stats)
 
     # ------------------------------------------------------------------
