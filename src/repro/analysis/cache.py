@@ -24,10 +24,13 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import LintReport
 from repro.champsim.branch_info import BranchRules
 from repro.core.improvements import Improvement
+from repro import faults
 from repro.experiments.cache import (
     _atomic_write_json,
     default_cache_dir,
     file_digest,
+    payload_digest,
+    quarantine_entry,
 )
 from repro.obs.instruments import CacheCounters, InstrumentedCache
 
@@ -35,7 +38,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.analysis.engine import TraceLinter
 
 #: Bump on any change to the serialised report payload.
-LINT_SCHEMA = 1
+#: 2: entries carry a ``digest`` field (SHA-256 of the canonical report
+#: payload) verified on load.
+LINT_SCHEMA = 2
 
 #: Bump whenever any rule's behaviour changes (new rules, changed checks,
 #: changed messages) — cached reports from older rule sets must miss.
@@ -98,31 +103,68 @@ class LintCache(InstrumentedCache):
         return self.root / "lint" / key[:2] / f"{key}.json"
 
     def load(self, key: str) -> Optional[LintReport]:
-        """The cached report for ``key``, or None (counted as hit/miss)."""
+        """The cached report for ``key``, or None (counted as hit/miss).
+
+        Same integrity contract as the result cache: absent or
+        schema-mismatched entries are plain misses; corrupt entries
+        (unparseable, missing fields, digest mismatch) are moved to
+        ``<root>/quarantine/`` with a ``cache.corrupt`` event and then
+        missed.
+        """
+        path = self._path(key)
         try:
-            payload = json.loads(self._path(key).read_text())
+            raw = path.read_bytes()
+        except OSError:
+            self.counters.miss()
+            return None
+        try:
+            # Decode inside the corruption guard: invalid UTF-8 is
+            # damage (UnicodeDecodeError is a ValueError), not a miss.
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not a JSON object")
             if payload.get("schema") != LINT_SCHEMA:
-                raise ValueError("schema mismatch")
+                self.counters.miss()
+                return None
+            if payload.get("digest") != payload_digest(payload["report"]):
+                raise ValueError("payload digest mismatch")
             report = report_from_dict(payload["report"], from_cache=True)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
+            quarantine_entry(
+                path,
+                self.root / "quarantine",
+                self.counters,
+                key,
+                f"{type(exc).__name__}: {exc}",
+            )
             self.counters.miss()
             return None
         self.counters.hit()
         return report
 
     def store(self, key: str, report: LintReport) -> None:
-        payload = {"schema": LINT_SCHEMA, "report": report_to_dict(report)}
+        report_payload = report_to_dict(report)
+        payload = {
+            "schema": LINT_SCHEMA,
+            "digest": payload_digest(report_payload),
+            "report": report_payload,
+        }
+        path = self._path(key)
         try:
-            _atomic_write_json(self._path(key), payload)
+            _atomic_write_json(path, payload)
         except OSError:
             self.counters.store_error()
             return
         self.counters.store()
+        faults.store_fault(path)
 
     def describe(self) -> str:
+        quarantined = (
+            f" quarantined={self.quarantined}" if self.quarantined else ""
+        )
         return (
-            f"{self.counters.describe_hit_miss()} stores={self.stores} "
-            f"dir={self.root}"
+            f"{self.counters.describe_hit_miss()} stores={self.stores}"
+            f"{quarantined} dir={self.root}"
         )
 
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.errors import TraceFormatError
 from repro.obs import state as _obs_state
 
@@ -437,10 +438,12 @@ class ChampSimTraceReader:
             raise StopIteration
         if len(data) != RECORD_SIZE:
             _emit_truncation(len(data))
+            offset = self._records_read * RECORD_SIZE
             raise ChampSimTraceError(
                 f"truncated final record: got {len(data)} bytes after "
                 f"{self._records_read} complete records, expected "
-                f"{RECORD_SIZE}"
+                f"{RECORD_SIZE} (incomplete record starts at byte offset "
+                f"{offset})"
             )
         self._records_read += 1
         return decode_instr(data)
@@ -449,20 +452,36 @@ class ChampSimTraceReader:
         """Read up to ``block_size`` records with one buffered read.
 
         Returns an empty list at EOF; raises :class:`ChampSimTraceError`
-        on a truncated final record.
+        on a truncated final record, naming the byte offset where the
+        incomplete record starts.  The ``io.champsim.truncate``
+        fault-injection site cuts the buffered read mid-record when
+        scheduled, so the truncation path is testable on demand.
         """
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
         data = self._read_exact(block_size * RECORD_SIZE)
+        if data:
+            shortened = faults.truncate_read(
+                "io.champsim.truncate", data, keep_floor=RECORD_SIZE // 2
+            )
+            if len(shortened) < len(data):
+                # Land mid-record: a cut on a record boundary would look
+                # like a legitimately shorter trace, not damage.
+                cut = len(shortened)
+                if cut % RECORD_SIZE == 0:
+                    cut -= RECORD_SIZE // 2
+                data = data[:cut]
         if not data:
             return []
         if len(data) % RECORD_SIZE:
             whole = len(data) // RECORD_SIZE
             _emit_truncation(len(data) % RECORD_SIZE)
+            offset = (self._records_read + whole) * RECORD_SIZE
             raise ChampSimTraceError(
                 f"truncated final record: got {len(data) % RECORD_SIZE} "
                 f"bytes after {self._records_read + whole} complete "
-                f"records, expected {RECORD_SIZE}"
+                f"records, expected {RECORD_SIZE} (incomplete record "
+                f"starts at byte offset {offset})"
             )
         block = decode_block(data)
         self._records_read += len(block)

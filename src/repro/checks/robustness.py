@@ -1,0 +1,146 @@
+"""RC5xx — failure-handling rules over the fleet packages.
+
+The hardened experiment fleet treats every failure as structured data:
+tasks are retried under a policy, corrupt cache entries are quarantined
+with a ``cache.corrupt`` event, pool losses emit ``pool.*`` events.
+That contract dies quietly the first time someone writes ``except
+Exception: pass`` on a recovery path — the failure still happens, but
+nothing counts it, nothing reports it, and the chaos tests cannot see
+it.  These rules apply to the robustness scope — path components
+``experiments`` and ``faults``, where recovery decisions live:
+
+- **RC501** requires every ``except`` handler to do at least one
+  observable thing with the failure: re-raise, raise a typed error,
+  emit a structured obs event, bump a counter (``.miss()``,
+  ``.store_error()``, ``.quarantine()``, ``.inc()``...), capture the
+  traceback (``format_exc``), or report to stderr.  A handler doing
+  none of those swallows the failure invisibly.
+- **RC502** bans bare ``except:`` outright — it catches
+  ``KeyboardInterrupt`` and ``SystemExit``, turning Ctrl-C into an
+  infinite retry loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.findings import Finding
+from repro.checks.project import CheckProject, SourceModule
+from repro.checks.rules import ModuleCheckRule, register
+
+#: Path components that place a module in robustness scope.
+ROBUSTNESS_SCOPE = frozenset({"experiments", "faults"})
+
+#: Attribute-call names that count as "recording the failure": the
+#: cache/journal counter protocol plus metric increments.
+_RECORDING_ATTRS = frozenset(
+    {
+        "miss",
+        "store_error",
+        "quarantine",
+        "inc",
+        "warning",
+        "error",
+        "exception",
+        "append",  # collecting the failure for a later report
+    }
+)
+
+
+def _in_scope(module: SourceModule) -> bool:
+    return any(part in ROBUSTNESS_SCOPE for part in module.parts)
+
+
+def _call_handles_failure(call: ast.Call) -> bool:
+    """Whether one call inside a handler makes the failure observable."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return False
+    if "emit" in name or "quarantine" in name:
+        return True
+    if name == "format_exc":
+        return True
+    if name == "print":
+        # Only stderr reporting counts; stdout prints are CLI output,
+        # not failure reporting.
+        for keyword in call.keywords:
+            if keyword.arg == "file":
+                return True
+        return False
+    return name in _RECORDING_ATTRS
+
+
+def _handler_is_observable(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler re-raises, raises typed, or records the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and _call_handles_failure(node):
+            return True
+    return False
+
+
+class _ScopedRule(ModuleCheckRule):
+    """Shared scope gate for the RC5xx family."""
+
+    def check(
+        self, module: SourceModule, project: CheckProject
+    ) -> Iterator[Finding]:
+        if not _in_scope(module):
+            return
+        yield from self.check_scoped(module)
+
+    def check_scoped(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register
+class SilentExceptRule(_ScopedRule):
+    rule_id = "RC501"
+    title = "Except handlers in fleet code must surface the failure"
+    rationale = (
+        "A swallowed exception on a recovery path hides real failures "
+        "from the obs events, counters, and chaos tests that the "
+        "hardened fleet is built around; every handler must re-raise, "
+        "raise a typed error, or record what it caught."
+    )
+
+    def check_scoped(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _handler_is_observable(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "except handler swallows the failure: re-raise, raise a "
+                "typed error, emit a structured obs event, or bump a "
+                "failure counter",
+            )
+
+
+@register
+class BareExceptRule(_ScopedRule):
+    rule_id = "RC502"
+    title = "No bare except in fleet code"
+    rationale = (
+        "bare `except:` catches KeyboardInterrupt and SystemExit, so a "
+        "retry loop around it turns Ctrl-C into an unkillable sweep; "
+        "catch Exception (or narrower) instead."
+    )
+
+    def check_scoped(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except catches KeyboardInterrupt/SystemExit; "
+                    "catch Exception or a narrower class",
+                )

@@ -2,8 +2,8 @@
 
 Every source-check rule is a small class with a stable ID (``RC1xx``
 determinism, ``RC2xx`` cache-key completeness, ``RC3xx`` worker/pickle
-safety, ``RC4xx`` engine parity), a default severity, and a one-line
-rationale.  Rules self-register on import via :func:`register`;
+safety, ``RC4xx`` engine parity, ``RC5xx`` failure handling), a default
+severity, and a one-line rationale.  Rules self-register on import via :func:`register`;
 :func:`resolve_check_rules` implements the same ruff-style prefix
 selection as :func:`repro.analysis.rules.resolve_rules` (``--select
 RC4`` keeps every parity rule).
@@ -99,6 +99,7 @@ def _ensure_rules_loaded() -> None:
         cachekeys,
         determinism,
         parity,
+        robustness,
         workers,
     )
 

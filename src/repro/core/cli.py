@@ -73,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--salvage",
+        action="store_true",
+        help=(
+            "tolerate a truncated final record in the input trace: "
+            "convert the complete leading records, warn, and report how "
+            "many trailing bytes were dropped (single-file mode; "
+            "requires the block path)"
+        ),
+    )
+    parser.add_argument(
         "--lint",
         action="store_true",
         help=(
@@ -179,6 +189,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     if args.suite:
+        if args.salvage:
+            print(
+                "repro-convert: --salvage applies to single-file mode only",
+                file=sys.stderr,
+            )
+            return 2
         return _main_suite(args, improvements)
 
     if not args.trace or not args.output:
@@ -188,9 +204,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.salvage and not args.block_size:
+        print(
+            "repro-convert: --salvage requires the block path "
+            "(--block-size > 0)",
+            file=sys.stderr,
+        )
+        return 2
     result = convert_file(
-        args.trace, args.output, improvements, block_size=args.block_size
+        args.trace,
+        args.output,
+        improvements,
+        block_size=args.block_size,
+        salvage=args.salvage,
     )
+    if result.salvaged_bytes:
+        print(
+            f"repro-convert: warning: dropped {result.salvaged_bytes} "
+            "trailing bytes of an incomplete final record",
+            file=sys.stderr,
+        )
     if args.verbose:
         stats = result.stats
         print(f"records in:        {stats.records_in}")

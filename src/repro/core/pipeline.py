@@ -37,6 +37,9 @@ class ConversionResult:
     #: ChampSim branch-deduction rules the output trace requires.
     branch_rules: BranchRules
     stats: ConversionStats
+    #: Trailing bytes of an incomplete final record dropped by salvage
+    #: mode (0 = the source trace was intact or salvage was off).
+    salvaged_bytes: int = 0
 
 
 #: Records per conversion block of the default fast path.
@@ -48,6 +51,7 @@ def convert_file(
     destination: Union[str, Path],
     improvements: Improvement = Improvement.NONE,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    salvage: bool = False,
 ) -> ConversionResult:
     """Convert a CVP-1 trace file to a ChampSim trace file.
 
@@ -57,9 +61,17 @@ def convert_file(
     ``block_size`` selects the block-based fast path (records per
     block); pass ``0`` to force the legacy record-at-a-time path.  Both
     paths produce byte-identical output and statistics.
+
+    ``salvage`` tolerates a truncated final source record: the complete
+    leading records convert normally, a warning is logged, and the
+    result's :attr:`~ConversionResult.salvaged_bytes` reports how many
+    trailing bytes were dropped.  Salvage requires the block path
+    (``block_size > 0``).
     """
     from repro import obs
 
+    if salvage and not block_size:
+        raise ValueError("salvage requires the block path (block_size > 0)")
     source = Path(source)
     destination = Path(destination)
     converter = Converter(improvements)
@@ -68,13 +80,14 @@ def convert_file(
         source=str(source),
         improvements=improvements.value,
     ) as file_span:
-        with CvpTraceReader(source) as reader:
+        with CvpTraceReader(source, salvage=salvage) as reader:
             with ChampSimTraceWriter(destination) as writer:
                 if block_size:
                     for chunk in converter.convert_to_bytes(reader, block_size):
                         writer.write_encoded(chunk)
                 else:
                     writer.write_all(converter.convert(reader))
+            salvaged = int(reader.salvage_info.get("trailing_bytes", 0))
         file_span.set(
             records=converter.stats.records_in,
             instructions=converter.stats.instructions_out,
@@ -85,6 +98,7 @@ def convert_file(
         improvements=improvements,
         branch_rules=converter.required_branch_rules,
         stats=converter.stats,
+        salvaged_bytes=salvaged,
     )
 
 

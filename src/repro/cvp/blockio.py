@@ -22,6 +22,7 @@ from __future__ import annotations
 import struct
 from typing import BinaryIO, Iterator, List, Optional
 
+from repro import faults
 from repro.errors import TraceFormatError
 from repro.cvp.isa import FIRST_VEC_REGISTER, InstClass, NUM_REGISTERS
 from repro.cvp.record import CvpRecord
@@ -184,30 +185,78 @@ def _decode_available(buf: bytes, out: List[CvpRecord]) -> int:
     return off
 
 
-def _raise_truncated(tail: bytes) -> None:
-    """Re-decode a trailing fragment strictly for the canonical error."""
+def _raise_truncated(tail: bytes, offset: int) -> None:
+    """Re-decode a trailing fragment strictly for the canonical error.
+
+    The error names the absolute byte offset of the damaged record and
+    how many trailing bytes follow it, so a corrupt multi-GB trace can
+    be inspected (or truncated) at the exact spot without re-parsing.
+    """
     import io
 
     from repro.cvp.encoding import decode_record
 
     stream = io.BytesIO(tail)
-    while decode_record(stream) is not None:  # pragma: no cover - defensive
-        pass
+    try:
+        while decode_record(stream) is not None:  # pragma: no cover - defensive
+            pass
+    except TraceFormatError as exc:
+        raise TraceFormatError(
+            f"{exc} (incomplete record starts at byte offset {offset}; "
+            f"{len(tail)} trailing bytes)"
+        ) from exc
     raise TraceFormatError(  # pragma: no cover - decode_record raises first
-        f"truncated record: {len(tail)} trailing bytes"
+        f"truncated record: {len(tail)} trailing bytes at byte offset "
+        f"{offset}"
     )
+
+
+def _log_salvage(fmt: str, offset: int, trailing_bytes: int) -> None:
+    """Warn (log + obs event) that a truncated tail was dropped."""
+    import logging
+
+    logging.getLogger("repro.cvp.blockio").warning(
+        "salvage: dropped %d trailing bytes of incomplete %s record at "
+        "byte offset %d",
+        trailing_bytes,
+        fmt,
+        offset,
+    )
+    from repro.obs import state as _obs_state
+
+    if _obs_state.enabled():
+        from repro.obs import emit_event
+
+        emit_event(
+            "trace.salvaged",
+            {
+                "format": fmt,
+                "offset": offset,
+                "trailing_bytes": trailing_bytes,
+            },
+        )
 
 
 def iter_record_blocks(
     stream: BinaryIO,
     block_size: int = DEFAULT_BLOCK_SIZE,
     buffer_size: int = DEFAULT_BUFFER_SIZE,
+    salvage: bool = False,
+    salvage_info: Optional[dict] = None,
 ) -> Iterator[List[CvpRecord]]:
     """Yield lists of up to ``block_size`` records from a binary stream.
 
     Every block except the last holds exactly ``block_size`` records; the
     concatenation of all blocks equals the per-record decode of the same
-    stream.  A truncated final record raises :class:`TraceFormatError`.
+    stream.  A truncated final record raises :class:`TraceFormatError`
+    naming the byte offset of the incomplete record — or, with
+    ``salvage=True``, is dropped with a warning (and recorded into
+    ``salvage_info`` as ``{"offset", "trailing_bytes"}``) so the complete
+    leading records are still usable.
+
+    The ``io.cvp.truncate`` fault-injection site cuts a buffered read
+    short (forcing EOF) when scheduled, exercising both the error and the
+    salvage path deterministically.
     """
     if block_size < 1:
         raise ValueError(f"block_size must be >= 1, got {block_size}")
@@ -218,19 +267,31 @@ def iter_record_blocks(
     try:
         while True:
             chunk = stream.read(buffer_size)
-            if not chunk:
+            injected_eof = False
+            if chunk:
+                shortened = faults.truncate_read("io.cvp.truncate", chunk)
+                if len(shortened) < len(chunk):
+                    chunk = shortened
+                    injected_eof = True
+                bytes_read += len(chunk)
+                data = tail + chunk if tail else chunk
+                consumed = _decode_available(data, pending)
+                tail = data[consumed:]
+                while len(pending) >= block_size:
+                    blocks_out += 1
+                    yield pending[:block_size]
+                    del pending[:block_size]
+            if not chunk or injected_eof:
                 if tail:
+                    offset = bytes_read - len(tail)
                     _emit_truncation("cvp", len(tail))
-                    _raise_truncated(tail)
+                    if not salvage:
+                        _raise_truncated(tail, offset)
+                    _log_salvage("cvp", offset, len(tail))
+                    if salvage_info is not None:
+                        salvage_info["offset"] = offset
+                        salvage_info["trailing_bytes"] = len(tail)
                 break
-            bytes_read += len(chunk)
-            data = tail + chunk if tail else chunk
-            consumed = _decode_available(data, pending)
-            tail = data[consumed:]
-            while len(pending) >= block_size:
-                blocks_out += 1
-                yield pending[:block_size]
-                del pending[:block_size]
         if pending:
             blocks_out += 1
             yield pending

@@ -58,6 +58,12 @@ class CvpTraceReader:
     file-like object, or an in-memory iterable of already-decoded records
     (useful to run the converter without touching disk).
 
+    With ``salvage=True``, block iteration over a stream tolerates a
+    truncated final record: the complete leading records are yielded, a
+    warning is logged, and :attr:`salvage_info` records the byte offset
+    and trailing-byte count of the dropped fragment (empty when the
+    trace was intact).
+
     Iterating yields records; :attr:`registers` always reflects the state
     *before* the record most recently yielded — call :meth:`commit` (or use
     :meth:`records_with_registers`) to advance it.
@@ -66,6 +72,7 @@ class CvpTraceReader:
     def __init__(
         self,
         source: Union[str, Path, BinaryIO, Iterable[CvpRecord]],
+        salvage: bool = False,
     ):
         self._stream: Optional[BinaryIO] = None
         self._records: Optional[Iterator[CvpRecord]] = None
@@ -78,6 +85,10 @@ class CvpTraceReader:
         else:
             self._records = iter(source)  # type: ignore[arg-type]
         self.registers = RegisterFile()
+        self.salvage = salvage
+        #: Filled by block iteration when salvage drops a truncated tail:
+        #: ``{"offset": int, "trailing_bytes": int}``.
+        self.salvage_info: dict = {}
         self._count = 0
 
     @property
@@ -129,7 +140,12 @@ class CvpTraceReader:
                 yield block
             return
         assert self._stream is not None
-        for block in iter_record_blocks(self._stream, block_size):
+        for block in iter_record_blocks(
+            self._stream,
+            block_size,
+            salvage=self.salvage,
+            salvage_info=self.salvage_info,
+        ):
             self._count += len(block)
             yield block
 

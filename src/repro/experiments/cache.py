@@ -15,10 +15,16 @@ Layout (two-level fan-out keeps directories small)::
 
 Invalidation is entirely key-driven — change any input (including
 ``GENERATOR_VERSION`` or the cache schema) and the key changes, so stale
-entries are simply never read again.  Corrupt or schema-mismatched files
-are treated as misses and rewritten on the next store.  The cache
-directory defaults to ``~/.cache/repro`` and is overridden by the
-``REPRO_CACHE_DIR`` environment variable.
+entries are simply never read again.  Integrity is digest-driven: every
+entry records the SHA-256 of its canonical payload, so a bit-flipped or
+truncated file is *detected* (not just unparseable) on load.  Corrupt
+entries are quarantined — moved into ``<cache_dir>/quarantine/`` with a
+structured ``cache.corrupt`` obs event — and counted as misses, so a
+damaged entry costs exactly one re-simulation and leaves forensic
+evidence, never a silent wrong-value hit or a re-miss loop on the same
+bad file.  Schema-mismatched entries are ordinary misses (stale, not
+corrupt).  The cache directory defaults to ``~/.cache/repro`` and is
+overridden by the ``REPRO_CACHE_DIR`` environment variable.
 
 :class:`ConversionCache` applies the same keying to on-disk suite
 conversions (``repro-convert --suite``): a sidecar JSON next to each
@@ -35,6 +41,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro import faults
 from repro.champsim.branch_info import BranchRules, BranchType
 from repro.core.convert import ConversionStats
 from repro.core.improvements import Improvement
@@ -45,7 +52,9 @@ from repro.synth.generator import GENERATOR_VERSION
 
 #: Bump on any change to the serialised payload layout; old entries
 #: become unreadable (treated as misses) rather than misdecoded.
-CACHE_SCHEMA = 1
+#: 2: entries carry a ``digest`` field (SHA-256 of the canonical result
+#: payload) verified on load.
+CACHE_SCHEMA = 2
 
 #: SimStats/ConversionStats dict fields keyed by BranchType.
 _BRANCH_KEYED_FIELDS = frozenset(
@@ -190,6 +199,17 @@ def file_digest(path: Union[str, Path]) -> str:
     return digest.hexdigest()
 
 
+def payload_digest(payload: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``.
+
+    Stored alongside every cache entry and recomputed on load, so damage
+    anywhere in the payload — even a bit-flip that still parses as valid
+    JSON — is detected instead of served as a wrong-value hit.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
     """Write JSON via a same-directory temp file + rename.
 
@@ -201,6 +221,58 @@ def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
     tmp.write_text(json.dumps(payload, sort_keys=True))
     os.replace(tmp, path)
+
+
+def _emit_cache_corrupt(
+    cache: str, key: str, path: Path, moved: str, reason: str
+) -> None:
+    """Structured ``cache.corrupt`` event (no-op when obs is off)."""
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    obs.emit_event(
+        "cache.corrupt",
+        {
+            "cache": cache,
+            "key": key,
+            "path": str(path),
+            "quarantined_to": moved,
+            "reason": reason,
+        },
+    )
+
+
+def quarantine_entry(
+    path: Path,
+    quarantine_dir: Path,
+    counters: CacheCounters,
+    key: str,
+    reason: str,
+) -> None:
+    """Move a corrupt cache entry aside; record what happened and why.
+
+    Quarantining (instead of deleting or leaving in place) serves two
+    needs at once: the bad bytes are preserved for diagnosis, and the
+    next lookup of the key is a clean miss-then-store rather than a
+    re-parse of the same damaged file on every run.  The move itself is
+    best-effort — a cache on failing storage must still degrade to a
+    miss, never an exception.
+    """
+    try:
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        destination = quarantine_dir / path.name
+        os.replace(path, destination)
+        _emit_cache_corrupt(counters.cache, key, path, str(destination), reason)
+    except OSError as exc:
+        _emit_cache_corrupt(
+            counters.cache,
+            key,
+            path,
+            "",
+            f"{reason}; quarantine move failed: {exc}",
+        )
+    counters.quarantine()
 
 
 # ----------------------------------------------------------------------
@@ -223,41 +295,80 @@ class ResultCache(InstrumentedCache):
     def _path(self, key: str) -> Path:
         return self.root / "runs" / key[:2] / f"{key}.json"
 
+    def _quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
     def load(self, key: str) -> Optional["RunResult"]:  # noqa: F821
         """The cached result for ``key``, or None (counted as hit/miss).
 
-        Corrupt, truncated, or schema-mismatched entries are misses; the
-        next :meth:`store` for the key overwrites them.
+        Absent and schema-mismatched entries are plain misses.  Corrupt
+        entries — unparseable JSON, missing fields, or a payload that no
+        longer matches its recorded digest — are quarantined (moved to
+        ``<root>/quarantine/`` with a ``cache.corrupt`` event) and then
+        counted as misses, so they cost one re-simulation and never
+        surface as a wrong-value hit.
         """
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
+            raw = path.read_bytes()
+        except OSError:
+            # Absent (or unreadable) entry: the ordinary cold-cache miss.
+            self.counters.miss()
+            return None
+        try:
+            # Decode inside the corruption guard: a flipped high byte
+            # makes the entry invalid UTF-8, which is damage, not a
+            # cold cache (UnicodeDecodeError is a ValueError).
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not a JSON object")
             if payload.get("schema") != CACHE_SCHEMA:
-                raise ValueError("schema mismatch")
+                # Stale schema, not damage: a plain miss, no quarantine.
+                self.counters.miss()
+                return None
+            if payload.get("digest") != payload_digest(payload["result"]):
+                raise ValueError("payload digest mismatch")
             result = run_result_from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
+            quarantine_entry(
+                path,
+                self._quarantine_dir(),
+                self.counters,
+                key,
+                f"{type(exc).__name__}: {exc}",
+            )
             self.counters.miss()
             return None
         self.counters.hit()
         return result
 
     def store(self, key: str, result: "RunResult") -> None:  # noqa: F821
-        payload = {"schema": CACHE_SCHEMA, "result": run_result_to_dict(result)}
+        result_payload = run_result_to_dict(result)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "digest": payload_digest(result_payload),
+            "result": result_payload,
+        }
+        path = self._path(key)
         try:
-            _atomic_write_json(self._path(key), payload)
+            _atomic_write_json(path, payload)
         except OSError:
             self.counters.store_error()
             return
         self.counters.store()
+        faults.store_fault(path)
 
     def describe(self) -> str:
         """Counter summary for CLI/CI reporting."""
         errors = (
             f" store_errors={self.store_errors}" if self.store_errors else ""
         )
+        quarantined = (
+            f" quarantined={self.quarantined}" if self.quarantined else ""
+        )
         return (
             f"{self.counters.describe_hit_miss()} stores={self.stores}"
-            f"{errors} dir={self.root}"
+            f"{errors}{quarantined} dir={self.root}"
         )
 
 
@@ -279,17 +390,44 @@ class ConversionCache:
         return self.output_dir / f"{name}.convstats.json"
 
     def load(self, name: str, key: str) -> Optional["ConversionResult"]:  # noqa: F821
+        """The reusable conversion for ``name``, or None.
+
+        Staleness (schema/key/output-digest mismatch, output file gone)
+        is a plain miss — the conversion legitimately needs redoing.  A
+        sidecar that cannot be parsed or is missing fields is corrupt
+        and gets quarantined like any other damaged cache entry.
+        """
         from repro.core.pipeline import ConversionResult
 
+        sidecar = self._sidecar(name)
         try:
-            payload = json.loads(self._sidecar(name).read_text())
+            payload = json.loads(sidecar.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not a JSON object")
+        except OSError:
+            self.counters.miss()
+            return None
+        except ValueError as exc:
+            quarantine_entry(
+                sidecar,
+                self.output_dir / "quarantine",
+                self.counters,
+                key,
+                f"{type(exc).__name__}: {exc}",
+            )
+            self.counters.miss()
+            return None
+        try:
             if payload.get("schema") != CACHE_SCHEMA:
-                raise ValueError("schema mismatch")
+                self.counters.miss()
+                return None
             if payload.get("key") != key:
-                raise ValueError("key mismatch")
+                self.counters.miss()
+                return None
             destination = Path(payload["destination"])
             if file_digest(destination) != payload["output_digest"]:
-                raise ValueError("output digest mismatch")
+                self.counters.miss()
+                return None
             result = ConversionResult(
                 source=Path(payload["source"]),
                 destination=destination,
@@ -297,7 +435,18 @@ class ConversionCache:
                 branch_rules=BranchRules(payload["branch_rules"]),
                 stats=conversion_stats_from_dict(payload["stats"]),
             )
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            # Output trace missing/unreadable: stale, reconvert.
+            self.counters.miss()
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            quarantine_entry(
+                sidecar,
+                self.output_dir / "quarantine",
+                self.counters,
+                key,
+                f"{type(exc).__name__}: {exc}",
+            )
             self.counters.miss()
             return None
         self.counters.hit()
@@ -314,8 +463,14 @@ class ConversionCache:
             "stats": conversion_stats_to_dict(result.stats),
             "output_digest": file_digest(result.destination),
         }
-        _atomic_write_json(self._sidecar(name), payload)
+        sidecar = self._sidecar(name)
+        try:
+            _atomic_write_json(sidecar, payload)
+        except OSError:
+            self.counters.store_error()
+            return
         self.counters.store()
+        faults.store_fault(sidecar)
 
     def describe(self) -> str:
         return f"{self.counters.describe_hit_miss()} dir={self.output_dir}"

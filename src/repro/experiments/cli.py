@@ -15,9 +15,17 @@ from typing import Optional, Sequence
 
 from repro import obs
 from repro.experiments import ablation, figures, report, tables
-from repro.experiments.parallel import TaskFailure
+from repro.experiments.journal import DEFAULT_JOURNAL_NAME, SweepJournal
+from repro.experiments.parallel import PoolRecoveryError, TaskFailure
 from repro.experiments.runner import ExperimentRunner
+from repro.faults.retry import RetryPolicy
 from repro.obs import logutil
+
+#: Exit codes: 0 success, 1 task failure (some runs kept failing and
+#: were quarantined), 2 usage error (argparse), 3 infrastructure
+#: failure (the worker pool could not be kept alive).
+EXIT_TASK_FAILURE = 1
+EXIT_INFRA_FAILURE = 3
 
 _EXPERIMENTS = ("fig1", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3")
 _ABLATIONS = ("ablation-frontend", "ablation-overlap", "ablation-prf")
@@ -73,6 +81,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk result cache",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failing task (default: 1)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        help=(
+            "base seconds before the first retry; doubles per attempt "
+            "with deterministic jitter (default: 0 = immediate)"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-task wall-clock bound in seconds for parallel sweeps; "
+            "hung workers are killed and their pool restarted"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "checkpoint each completed task to a JSONL journal "
+            f"(default with --resume: ./{DEFAULT_JOURNAL_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay completed tasks from the journal before running; "
+            "an interrupted sweep continues where it died"
+        ),
+    )
     obs.add_obs_flags(parser)
     logutil.add_logging_flags(parser)
     return parser
@@ -109,6 +158,15 @@ def run_experiment(name: str, runner: ExperimentRunner) -> str:
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def _print_quarantine_report(name: str, failure: TaskFailure) -> None:
+    """Per-task worker tracebacks for every quarantined task (stderr)."""
+    print(f"repro-experiment: {name}: {failure.summary()}", file=sys.stderr)
+    for task, tb in failure.failures:
+        label = getattr(task, "name", None) or repr(task)
+        print(f"\n--- quarantined task {label!r} ---", file=sys.stderr)
+        print(tb.rstrip(), file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     logutil.configure_from_args(args)
@@ -118,6 +176,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.cache import ResultCache
 
         cache = ResultCache(args.cache_dir)
+    journal = None
+    if args.journal is not None or args.resume:
+        journal = SweepJournal(
+            args.journal if args.journal is not None else DEFAULT_JOURNAL_NAME,
+            resume=args.resume,
+        )
     runner = ExperimentRunner(
         instructions=args.instructions,
         limit=args.limit,
@@ -125,18 +189,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache=cache,
         jobs=None if args.jobs == 0 else args.jobs,
         engine=args.engine,
+        journal=journal,
+        retry_policy=RetryPolicy(
+            attempts=1 + max(0, args.retries),
+            backoff_base=args.retry_backoff,
+            jitter=0.1 if args.retry_backoff else 0.0,
+        ),
+        task_timeout=args.task_timeout,
     )
     chosen = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     print(f"[runner {runner.describe()}]")
-    for name in chosen:
-        start = time.time()
-        print()
-        try:
-            print(run_experiment(name, runner))
-        except TaskFailure as exc:
-            print(f"repro-experiment: {name}: {exc}", file=sys.stderr)
-            return 1
-        print(f"[{name} took {time.time() - start:.1f}s]")
+    if journal is not None and len(journal):
+        print(f"[journal resumed {len(journal)} completed task(s)]")
+    try:
+        for name in chosen:
+            start = time.time()
+            print()
+            try:
+                print(run_experiment(name, runner))
+            except TaskFailure as exc:
+                _print_quarantine_report(name, exc)
+                return EXIT_TASK_FAILURE
+            except PoolRecoveryError as exc:
+                print(
+                    f"repro-experiment: {name}: infrastructure failure: {exc}",
+                    file=sys.stderr,
+                )
+                return EXIT_INFRA_FAILURE
+            print(f"[{name} took {time.time() - start:.1f}s]")
+    finally:
+        if journal is not None:
+            journal.close()
     print()
     print(f"[simulations={runner.simulations}]")
     if cache is not None:

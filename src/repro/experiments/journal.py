@@ -1,0 +1,177 @@
+"""Sweep checkpoint journal — crash-resumable experiment sweeps.
+
+A long sweep that dies at 90% (machine reboot, OOM kill, Ctrl-C) should
+not cost 90% of the work.  :class:`SweepJournal` appends one JSONL line
+per completed (trace, improvements, config) task — keyed by the same
+content hash as the result cache — as results arrive in the parent, so
+``repro-experiment --resume`` replays completed tasks from the journal
+and re-runs only what was actually lost.
+
+Format (line-oriented so a mid-write kill damages at most the final
+line)::
+
+    {"schema": 1, "kind": "repro-sweep-journal"}          # meta line
+    {"key": "<run_key>", "digest": "<sha256>", "result": {...}}
+    ...
+
+Every entry carries the digest of its canonical result payload, so a
+damaged line (torn write, disk corruption) is *detected* on load,
+skipped with a structured ``journal.skipped`` obs event, and simply
+re-run — never replayed as a wrong value and never fatal to the resume.
+The journal complements (not replaces) the result cache: it works with
+``--no-cache``, and it records exactly one sweep's progress rather than
+a global content-addressed store.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Dict, Optional, Union
+
+from repro.experiments.cache import (
+    payload_digest,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.experiments.runner import RunResult
+
+#: Bump on any change to the journal line layout; old journals are
+#: refused for resume (started fresh) rather than misdecoded.
+JOURNAL_SCHEMA = 1
+
+#: Journal path used by ``repro-experiment --resume`` when none is given.
+DEFAULT_JOURNAL_NAME = "repro-sweep.journal.jsonl"
+
+
+def _emit_journal_event(name: str, **attrs: Any) -> None:
+    """Structured ``journal.*`` event + mirror counter (no-op when off)."""
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    obs.emit_event(name, dict(attrs))
+    obs.counter(
+        "repro_journal_events_total", "Sweep journal events by type."
+    ).labels(event=name).inc()
+
+
+class SweepJournal:
+    """Append-only checkpoint log of completed sweep tasks.
+
+    Args:
+        path: The JSONL journal file.
+        resume: Load previously journalled results before appending
+            (``False`` truncates and starts a fresh journal).
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False) -> None:
+        self.path = Path(path)
+        self.completed: Dict[str, "RunResult"] = {}
+        self._stream: Optional[IO[str]] = None
+        if resume and self.path.exists():
+            self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.completed:
+            self._stream = open(self.path, "a", encoding="utf-8")
+        else:
+            self._stream = open(self.path, "w", encoding="utf-8")
+            self._write_line({"schema": JOURNAL_SCHEMA, "kind": "repro-sweep-journal"})
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Replay an existing journal, skipping damaged lines.
+
+        A torn final line (the process died mid-append) is expected and
+        skipped quietly; any other unreadable line is skipped with a
+        ``journal.skipped`` event.  A schema-mismatched meta line drops
+        the whole journal — resuming against an incompatible layout
+        must re-run, not misdecode.
+        """
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError) as exc:
+            _emit_journal_event(
+                "journal.skipped", path=str(self.path), reason=str(exc)
+            )
+            return
+        if not lines:
+            return
+        try:
+            meta = json.loads(lines[0])
+            if not isinstance(meta, dict) or meta.get("schema") != JOURNAL_SCHEMA:
+                raise ValueError(f"unsupported journal schema: {lines[0][:80]}")
+        except ValueError as exc:
+            _emit_journal_event(
+                "journal.skipped",
+                path=str(self.path),
+                line=1,
+                reason=f"bad meta line: {exc}",
+            )
+            return
+        for lineno, line in enumerate(lines[1:], start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                if entry.get("digest") != payload_digest(entry["result"]):
+                    raise ValueError("entry digest mismatch")
+                self.completed[key] = run_result_from_dict(entry["result"])
+            except (ValueError, KeyError, TypeError) as exc:
+                _emit_journal_event(
+                    "journal.skipped",
+                    path=str(self.path),
+                    line=lineno,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+        _emit_journal_event(
+            "journal.resumed", path=str(self.path), entries=len(self.completed)
+        )
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def _write_line(self, payload: Dict[str, Any]) -> None:
+        assert self._stream is not None
+        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def lookup(self, key: str) -> Optional["RunResult"]:
+        """The journalled result for ``key``, or None."""
+        return self.completed.get(key)
+
+    def record(self, key: str, result: "RunResult") -> None:
+        """Checkpoint one completed task (idempotent per key)."""
+        if key in self.completed:
+            return
+        result_payload = run_result_to_dict(result)
+        self._write_line(
+            {
+                "key": key,
+                "digest": payload_digest(result_payload),
+                "result": result_payload,
+            }
+        )
+        self.completed[key] = result
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

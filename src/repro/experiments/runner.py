@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.convert import ConversionStats, Converter
 from repro.core.improvements import Improvement
@@ -31,6 +31,11 @@ from repro.sim.simulator import Simulator
 from repro.sim.stats import SimStats
 from repro.synth.generator import make_trace
 from repro.synth.suite import IPC1_TO_CVP1, cvp1_public_trace_names, ipc1_trace_names
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.journal import SweepJournal
+    from repro.faults.retry import RetryPolicy
 
 #: A (trace, improvements, config) request, as accepted by ``run_batch``.
 RunSpec = Tuple[str, Improvement, Optional[SimConfig]]
@@ -73,6 +78,16 @@ class ExperimentRunner:
             bit-identical to the scalar reference, but the override is
             part of the memo/cache key, so switching engines never
             aliases previously cached results.
+        journal: Optional :class:`~repro.experiments.journal.SweepJournal`
+            checkpointing each completed task as it finishes; journalled
+            results are replayed (before the disk cache) so an
+            interrupted sweep resumes where it died.
+        retry_policy: Optional :class:`~repro.faults.retry.RetryPolicy`
+            governing task retries in the parallel fan-out (``None`` =
+            the fleet default: two attempts, no backoff).
+        task_timeout: Per-task wall-clock bound (seconds) in the
+            parallel fan-out; hung workers are killed and their pool
+            restarted.  ``None`` disables the bound.
     """
 
     def __init__(
@@ -83,6 +98,9 @@ class ExperimentRunner:
         cache: Optional["ResultCache"] = None,
         jobs: int = 1,
         engine: Optional[str] = None,
+        journal: Optional["SweepJournal"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        task_timeout: Optional[float] = None,
     ) -> None:
         self.instructions = instructions
         self.limit = limit
@@ -90,6 +108,9 @@ class ExperimentRunner:
         self.cache = cache
         self.jobs = jobs
         self.engine = engine
+        self.journal = journal
+        self.retry_policy = retry_policy
+        self.task_timeout = task_timeout
         #: Convert+simulate executions actually performed by this process
         #: (cache/memo hits do not count) — the warm-sweep assertions key
         #: off this staying at zero.
@@ -193,15 +214,18 @@ class ExperimentRunner:
         key = (name, improvements, config)
         if key in self._runs:
             return self._runs[key]
+        cache_key = self._cache_key(name, improvements, config)
         result = None
-        if self.cache is not None:
-            result = self.cache.load(self._cache_key(name, improvements, config))
+        if self.journal is not None:
+            result = self.journal.lookup(cache_key)
+        if result is None and self.cache is not None:
+            result = self.cache.load(cache_key)
         if result is None:
             result = self._execute(name, improvements, config)
             if self.cache is not None:
-                self.cache.store(
-                    self._cache_key(name, improvements, config), result
-                )
+                self.cache.store(cache_key, result)
+        if self.journal is not None:
+            self.journal.record(cache_key, result)
         self._runs[key] = result
         return result
 
@@ -246,10 +270,13 @@ class ExperimentRunner:
     ) -> List[RunResult]:
         """Run arbitrary (trace, improvements, config) specs in one pool.
 
-        Memo and disk-cache hits are resolved up front; only the misses
-        (deduplicated) are dispatched to worker processes.  With
-        ``jobs<=1`` the misses run inline through :meth:`run`, so serial
-        and parallel share one code path per result.
+        Memo, journal, and disk-cache hits are resolved up front; only
+        the misses (deduplicated) are dispatched to worker processes.
+        With ``jobs<=1`` the misses run inline through :meth:`run`, so
+        serial and parallel share one code path per result.  In pool
+        mode each completion is cached and journalled *as it arrives*
+        (not after the batch), so a sweep killed mid-flight checkpoints
+        everything that finished.
         """
         jobs = self.jobs if jobs is None else jobs
         resolved: Dict[int, RunResult] = {}
@@ -263,9 +290,12 @@ class ExperimentRunner:
             if key in pending:
                 pending[key].append(index)
                 continue
+            cache_key = self._cache_key(name, improvements, config)
             cached = None
-            if self.cache is not None:
-                cached = self.cache.load(self._cache_key(name, improvements, config))
+            if self.journal is not None:
+                cached = self.journal.lookup(cache_key)
+            if cached is None and self.cache is not None:
+                cached = self.cache.load(cache_key)
             if cached is not None:
                 self._runs[key] = cached
                 resolved[index] = cached
@@ -288,16 +318,28 @@ class ExperimentRunner:
                     )
                     for name, improvements, config in keys
                 ]
-                results = run_tasks(tasks, jobs=jobs)
-                # Worker-side executions count as this runner's
-                # simulations: the counter means "simulations performed
-                # on behalf of this runner", so a warm-cache sweep is 0
-                # regardless of jobs.
-                self.simulations += len(results)
-                for key, result in zip(keys, results):
+
+                def _checkpoint(task_index: int, task: object, result: RunResult) -> None:
+                    # Worker-side executions count as this runner's
+                    # simulations: the counter means "simulations
+                    # performed on behalf of this runner", so a
+                    # warm-cache sweep is 0 regardless of jobs.
+                    self.simulations += 1
+                    key = keys[task_index]
                     self._runs[key] = result
+                    cache_key = self._cache_key(*key)
                     if self.cache is not None:
-                        self.cache.store(self._cache_key(*key), result)
+                        self.cache.store(cache_key, result)
+                    if self.journal is not None:
+                        self.journal.record(cache_key, result)
+
+                results = run_tasks(
+                    tasks,
+                    jobs=jobs,
+                    policy=self.retry_policy,
+                    timeout=self.task_timeout,
+                    on_result=_checkpoint,
+                )
             for key, result in zip(keys, results):
                 for index in pending[key]:
                     resolved[index] = result

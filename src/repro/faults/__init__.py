@@ -1,0 +1,74 @@
+"""repro.faults — deterministic fault injection + retry policy.
+
+Off by default: with ``REPRO_FAULTS`` unset and no plan installed, every
+injection site collapses to one cached ``None`` check.  A plan (from the
+environment or :func:`install`) schedules faults per site with
+deterministic counters — same plan, same workload, same fault sequence —
+which is what the chaos tests lean on to assert that recovered runs are
+byte-identical to fault-free runs.
+
+Sites compiled into the production code:
+
+======================  ================================================
+``worker.crash``        hard worker death (``os._exit``) in the pool
+``worker.hang``         worker sleeps ``seconds`` (tests task timeouts)
+``worker.exc``          transient :class:`InjectedFault` raise
+``cache.corrupt``       bit-flip a just-written cache entry
+``cache.truncate``      drop the second half of a just-written entry
+``io.cvp.truncate``     CVP block read ends mid-record
+``io.champsim.truncate``ChampSim block read ends mid-record
+======================  ================================================
+
+:class:`RetryPolicy` lives here too: it is the recovery half of the same
+story, and the chaos tier exercises the two together.
+"""
+
+from __future__ import annotations
+
+from repro.faults.inject import (
+    CRASH_EXIT_CODE,
+    FAULTS_ENV,
+    FAULTS_PID_ENV,
+    InjectedFault,
+    active_plan,
+    corrupt_file,
+    enabled,
+    fire,
+    in_worker,
+    install,
+    reset_for_worker,
+    store_fault,
+    truncate_read,
+    worker_preamble,
+)
+from repro.faults.plan import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+from repro.faults.retry import DEFAULT_FATAL, RetryPolicy, exception_name
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "DEFAULT_FATAL",
+    "FAULTS_ENV",
+    "FAULTS_PID_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "RetryPolicy",
+    "active_plan",
+    "corrupt_file",
+    "enabled",
+    "exception_name",
+    "fire",
+    "in_worker",
+    "install",
+    "reset_for_worker",
+    "store_fault",
+    "truncate_read",
+    "worker_preamble",
+]

@@ -1,0 +1,227 @@
+"""Per-process fault-injection state and the site-side helpers.
+
+Production code calls :func:`fire` at compiled-in injection sites; when
+no plan is active (the default — ``REPRO_FAULTS`` unset and nothing
+installed) this is one cached ``None`` check, so the hot paths pay
+nothing.  When a plan is active, :func:`fire` advances the site's
+deterministic counter and returns the :class:`FaultSpec` on the calls
+that fire.
+
+Process model: :func:`install` writes the plan into ``REPRO_FAULTS`` so
+pool workers inherit it, and records the installing PID in
+``REPRO_FAULTS_PID``.  Destructive actions distinguish the fleet parent
+from its workers through that PID: :func:`crash` hard-kills only worker
+processes (``os._exit`` — the realistic SIGKILL/OOM stand-in that breaks
+the pool) and degrades to a raised :class:`InjectedFault` in the parent,
+so a serial run under a crash plan sees a retryable exception instead of
+taking the whole sweep down.
+
+Every injected action emits a ``fault.injected`` obs event (when obs is
+on), so chaos runs are auditable from the event log alone.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.faults.plan import FaultPlan, FaultPlanError, FaultSpec, SiteCounters
+
+#: Environment variable carrying the plan spec (see plan.py grammar).
+FAULTS_ENV = "REPRO_FAULTS"
+#: PID of the process that installed/first-loaded the plan.
+FAULTS_PID_ENV = "REPRO_FAULTS_PID"
+
+#: Exit status used by injected worker crashes (distinctive in waitpid).
+CRASH_EXIT_CODE = 86
+
+
+class InjectedFault(RuntimeError):
+    """A transient, injected failure (retryable by design)."""
+
+
+#: Cached plan: ``None`` = not yet loaded, ``_NO_PLAN`` = loaded, none.
+_NO_PLAN = FaultPlan(())
+_plan: Optional[FaultPlan] = None
+_counters = SiteCounters()
+
+
+def _load_plan() -> FaultPlan:
+    """Read ``REPRO_FAULTS`` once per process; cache the result."""
+    global _plan
+    if _plan is None:
+        text = os.environ.get(FAULTS_ENV, "").strip()
+        _plan = FaultPlan.parse(text) if text else _NO_PLAN
+        if _plan.specs and not os.environ.get(FAULTS_PID_ENV):
+            # First process to activate the plan is the fleet parent.
+            os.environ[FAULTS_PID_ENV] = str(os.getpid())
+    return _plan
+
+
+def enabled() -> bool:
+    """Whether any fault plan is active in this process."""
+    return bool(_load_plan().specs)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The active plan, or None."""
+    plan = _load_plan()
+    return plan if plan.specs else None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Activate ``plan`` for this process and future workers (via env).
+
+    ``install(None)`` clears any active plan.  Counters reset either
+    way, so tests get a fresh deterministic schedule per install.
+    """
+    global _plan
+    if plan is None or not plan.specs:
+        os.environ.pop(FAULTS_ENV, None)
+        os.environ.pop(FAULTS_PID_ENV, None)
+        _plan = _NO_PLAN
+    else:
+        os.environ[FAULTS_ENV] = plan.to_spec()
+        os.environ[FAULTS_PID_ENV] = str(os.getpid())
+        _plan = plan
+    _counters.reset()
+
+
+def reset_for_worker() -> None:
+    """Fresh per-process state after a ``fork`` (pool worker init).
+
+    A forked worker inherits the parent's plan cache *and* its counters;
+    left alone, the worker would resume mid-schedule.  Workers re-read
+    the environment and count from zero.
+    """
+    global _plan
+    _plan = None
+    _counters.reset()
+
+
+def in_worker() -> bool:
+    """True when this process is not the one that installed the plan."""
+    pid = os.environ.get(FAULTS_PID_ENV)
+    return bool(pid) and pid != str(os.getpid())
+
+
+def fire(site: str) -> Optional[FaultSpec]:
+    """Advance ``site``'s counter; the spec on calls that fire, else None."""
+    plan = _load_plan()
+    if not plan.specs:
+        return None
+    spec = plan.spec_for(site)
+    if spec is None:
+        return None
+    if not _counters.decide(spec):
+        return None
+    _emit_injection(site, spec)
+    return spec
+
+
+def _emit_injection(site: str, spec: FaultSpec) -> None:
+    """Audit-trail event for every injected fault (no-op when obs off)."""
+    from repro.obs import state as _obs_state
+
+    if not _obs_state.enabled():
+        return
+    from repro.obs import counter, emit_event
+
+    emit_event(
+        "fault.injected",
+        {
+            "site": site,
+            "fire": _counters.fires.get(site, 0),
+            "call": _counters.calls.get(site, 0),
+            "worker": in_worker(),
+        },
+    )
+    counter(
+        "repro_faults_injected_total", "Injected faults by site."
+    ).labels(site=site).inc()
+
+
+# ----------------------------------------------------------------------
+# site-side actions
+# ----------------------------------------------------------------------
+
+
+def worker_preamble() -> None:
+    """Run the ``worker.*`` sites; called at the top of every task body.
+
+    - ``worker.crash``: hard process death in a pool worker
+      (``os._exit`` — no cleanup, no exception, the pool breaks); in
+      the fleet parent it degrades to a raised :class:`InjectedFault`
+      so serial runs stay recoverable.
+    - ``worker.hang``: sleep ``seconds`` (the parent's per-task timeout
+      is what should cut this short).
+    - ``worker.exc``: raise a transient :class:`InjectedFault`.
+    """
+    if not enabled():
+        return
+    spec = fire("worker.crash")
+    if spec is not None:
+        if in_worker():
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedFault(
+            "injected worker crash (degraded to an exception outside a "
+            "pool worker)"
+        )
+    spec = fire("worker.hang")
+    if spec is not None:
+        import time
+
+        time.sleep(spec.seconds)
+    spec = fire("worker.exc")
+    if spec is not None:
+        raise InjectedFault("injected transient worker exception")
+
+
+def corrupt_file(path: "os.PathLike[str]", truncate: bool = False) -> None:
+    """Damage an on-disk artifact in place (corrupt-write simulation).
+
+    ``truncate=False`` flips one byte in the middle of the file;
+    ``truncate=True`` drops its second half.  Empty files are left
+    alone (nothing to damage).
+    """
+    try:
+        with open(path, "r+b") as stream:
+            stream.seek(0, os.SEEK_END)
+            size = stream.tell()
+            if size == 0:
+                return
+            if truncate:
+                stream.truncate(max(1, size // 2))
+            else:
+                mid = size // 2
+                stream.seek(mid)
+                byte = stream.read(1)
+                stream.seek(mid)
+                stream.write(bytes((byte[0] ^ 0xFF,)) if byte else b"\xff")
+    except OSError as exc:
+        raise FaultPlanError(
+            f"fault injection could not damage {os.fspath(path)!r}: {exc}"
+        ) from exc
+
+
+def store_fault(path: "os.PathLike[str]") -> None:
+    """Run the ``cache.*`` sites against a just-written cache entry."""
+    if not enabled():
+        return
+    if fire("cache.corrupt") is not None:
+        corrupt_file(path, truncate=False)
+    if fire("cache.truncate") is not None:
+        corrupt_file(path, truncate=True)
+
+
+def truncate_read(site: str, data: bytes, keep_floor: int = 1) -> bytes:
+    """Run an ``io.*`` short-read site over a just-read buffer.
+
+    When the site fires, returns a truncated copy of ``data`` (at least
+    ``keep_floor`` bytes, at most half); otherwise ``data`` unchanged.
+    """
+    if not enabled() or not data:
+        return data
+    if fire(site) is None:
+        return data
+    return data[: max(keep_floor, len(data) // 2)]

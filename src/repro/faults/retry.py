@@ -1,0 +1,143 @@
+"""Configurable retry with deterministic, seeded exponential backoff.
+
+Replaces the fleet's historical hardcoded retry-once: a
+:class:`RetryPolicy` owns how many attempts a task gets, how long to
+wait between them (exponential backoff with *seeded deterministic*
+jitter — the same task key and attempt always produce the same delay,
+so retried sweeps stay reproducible down to their sleep schedule), and
+which exception classes are worth retrying at all.
+
+Worker exceptions cross the pool boundary as formatted tracebacks, not
+exception objects, so retryability is classified by *exception class
+name* — the last ``Type: message`` line of the traceback.  An empty
+``retryable`` tuple means "retry everything" (the historic behaviour);
+a non-empty tuple whitelists class names (exact or dotted-suffix
+match), and ``fatal`` names always win over ``retryable``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Exception classes that are never worth a retry, regardless of policy:
+#: they signal deliberate interruption or programmer error, and retrying
+#: them just repeats the failure slower.
+DEFAULT_FATAL = ("KeyboardInterrupt", "SystemExit", "SyntaxError")
+
+
+def exception_name(traceback_text: str) -> str:
+    """The exception class name carried by a formatted traceback.
+
+    Parses the final ``Type: message`` (or bare ``Type``) line of
+    ``traceback.format_exc()`` output; returns ``""`` when the text has
+    no recognisable terminal line (classification then falls back to
+    "retryable").
+    """
+    for line in reversed(traceback_text.strip().splitlines()):
+        line = line.strip()
+        if not line or line.startswith(("File ", "Traceback", "^")):
+            continue
+        head = line.split(":", 1)[0].strip()
+        # A class name is a dotted identifier ("ValueError",
+        # "repro.faults.inject.InjectedFault").
+        if head and all(part.isidentifier() for part in head.split(".")):
+            return head
+        return ""
+    return ""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the fleet retries failing tasks.
+
+    Args:
+        attempts: Total attempts per task (first try included); >= 1.
+        backoff_base: Seconds before the first retry (0 = no waiting,
+            the default — keeps fault-free sweeps exactly as fast as
+            before).
+        backoff_multiplier: Delay growth factor per extra attempt.
+        backoff_max: Upper bound on any single delay.
+        jitter: Fraction of the delay randomised (deterministically)
+            around the nominal value, e.g. 0.2 => +-20%.
+        seed: Folded into the jitter hash; two policies with different
+            seeds spread retries differently, each reproducibly.
+        retryable: Exception class names worth retrying (exact or
+            dotted-suffix match); empty = every non-fatal class.
+        fatal: Exception class names never retried.
+    """
+
+    attempts: int = 2
+    backoff_base: float = 0.0
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.0
+    seed: int = 0
+    retryable: Tuple[str, ...] = ()
+    fatal: Tuple[str, ...] = DEFAULT_FATAL
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @classmethod
+    def default(cls) -> "RetryPolicy":
+        """The fleet default: two attempts, no backoff delay."""
+        return cls()
+
+    @staticmethod
+    def _matches(name: str, patterns: Tuple[str, ...]) -> bool:
+        return any(
+            name == pattern or name.endswith("." + pattern) or pattern == "*"
+            for pattern in patterns
+        )
+
+    def is_retryable(self, exc_name: str) -> bool:
+        """Whether a failure of class ``exc_name`` deserves more attempts."""
+        if exc_name and self._matches(exc_name, self.fatal):
+            return False
+        if not self.retryable:
+            return True
+        return bool(exc_name) and self._matches(exc_name, self.retryable)
+
+    def classify(self, traceback_text: str) -> Tuple[str, bool]:
+        """(exception class name, retryable?) for a worker traceback."""
+        name = exception_name(traceback_text)
+        return name, self.is_retryable(name)
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before attempt ``attempt + 1`` (deterministic).
+
+        ``attempt`` counts completed attempts (1 after the first
+        failure).  The jitter term hashes ``(seed, key, attempt)`` into
+        ``[-jitter, +jitter]``, so distinct tasks de-synchronise their
+        retries while identical reruns reproduce the exact schedule.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        nominal = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** max(0, attempt - 1),
+        )
+        if not self.jitter:
+            return nominal
+        digest = hashlib.sha256(
+            f"{self.seed}|{key}|{attempt}".encode("utf-8")
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
+        return min(
+            self.backoff_max, nominal * (1.0 + self.jitter * (2.0 * unit - 1.0))
+        )
+
+    def sleep(self, attempt: int, key: str = "") -> float:
+        """Sleep the backoff delay; returns the seconds slept."""
+        delay = self.delay(attempt, key)
+        if delay > 0:
+            time.sleep(delay)
+        return delay

@@ -29,9 +29,16 @@ def _mirror(cache: str, op: str) -> None:
 
 
 class CacheCounters:
-    """hits/misses/stores/store_errors, mirrored to the metrics registry."""
+    """hits/misses/stores/store_errors/quarantined, mirrored to metrics."""
 
-    __slots__ = ("cache", "hits", "misses", "stores", "store_errors")
+    __slots__ = (
+        "cache",
+        "hits",
+        "misses",
+        "stores",
+        "store_errors",
+        "quarantined",
+    )
 
     def __init__(self, cache: str):
         self.cache = cache
@@ -39,6 +46,7 @@ class CacheCounters:
         self.misses = 0
         self.stores = 0
         self.store_errors = 0
+        self.quarantined = 0
 
     def hit(self) -> None:
         self.hits += 1
@@ -55,6 +63,10 @@ class CacheCounters:
     def store_error(self) -> None:
         self.store_errors += 1
         _mirror(self.cache, "store_error")
+
+    def quarantine(self) -> None:
+        self.quarantined += 1
+        _mirror(self.cache, "quarantine")
 
     def describe_hit_miss(self) -> str:
         """The shared ``hits=H misses=M`` prefix every cache reports."""
@@ -88,3 +100,7 @@ class InstrumentedCache:
     @property
     def store_errors(self) -> int:
         return self.counters.store_errors
+
+    @property
+    def quarantined(self) -> int:
+        return self.counters.quarantined

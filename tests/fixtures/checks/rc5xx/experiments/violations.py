@@ -1,0 +1,16 @@
+"""Negative-control fixture: every RC5xx rule must fire on this file."""
+
+
+def swallow(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError:  # RC501: failure vanishes without a trace
+        return None
+
+
+def unkillable(fn):
+    try:
+        return fn()
+    except:  # noqa: E722  RC502: catches KeyboardInterrupt too
+        raise

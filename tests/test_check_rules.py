@@ -439,6 +439,115 @@ def test_rc4xx_inherited_init_reads_are_shared():
     assert fired(sources, ["RC402"]) == set()
 
 
+# --- RC501/RC502: failure handling in fleet code ------------------------
+
+
+def test_rc501_silent_except_in_scope():
+    src = (
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError:\n"
+        "        return None\n"
+    )
+    assert fired({"experiments/a.py": src}, ["RC501"]) == {"RC501"}
+    assert fired({"faults/a.py": src}, ["RC501"]) == {"RC501"}
+
+
+def test_rc501_out_of_scope_not_flagged():
+    src = (
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError:\n"
+        "        return None\n"
+    )
+    assert fired({"bench/a.py": src}, ["RC501"]) == set()
+
+
+def test_rc501_reraise_clean():
+    src = (
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError as exc:\n"
+        "        raise RuntimeError(str(exc)) from exc\n"
+    )
+    assert fired({"experiments/a.py": src}, ["RC501"]) == set()
+
+
+def test_rc501_obs_event_clean():
+    src = (
+        "from repro import obs\n\n"
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError:\n"
+        "        obs.emit_event('cache.corrupt', path=str(path))\n"
+        "        return None\n"
+    )
+    assert fired({"experiments/a.py": src}, ["RC501"]) == set()
+
+
+def test_rc501_counter_bump_clean():
+    src = (
+        "def load(cache, key):\n"
+        "    try:\n"
+        "        return cache.read(key)\n"
+        "    except OSError:\n"
+        "        cache.counters.miss()\n"
+        "        return None\n"
+    )
+    assert fired({"experiments/a.py": src}, ["RC501"]) == set()
+
+
+def test_rc501_stderr_report_clean():
+    src = (
+        "import sys\n\n"
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError as exc:\n"
+        "        print(f'skipping {path}: {exc}', file=sys.stderr)\n"
+        "        return None\n"
+    )
+    assert fired({"experiments/a.py": src}, ["RC501"]) == set()
+
+
+def test_rc501_stdout_print_still_flagged():
+    src = (
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError:\n"
+        "        print('oops')\n"
+        "        return None\n"
+    )
+    assert fired({"experiments/a.py": src}, ["RC501"]) == {"RC501"}
+
+
+def test_rc502_bare_except():
+    src = (
+        "def guard(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except:\n"
+        "        raise\n"
+    )
+    assert fired({"faults/a.py": src}, ["RC502"]) == {"RC502"}
+
+
+def test_rc502_typed_except_clean():
+    src = (
+        "def guard(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except Exception:\n"
+        "        raise\n"
+    )
+    assert fired({"faults/a.py": src}, ["RC502"]) == set()
+
+
 # --- the on-disk negative-control fixtures ------------------------------
 
 
@@ -464,3 +573,7 @@ def test_fixture_rc3xx_fires_every_worker_rule():
 
 def test_fixture_rc4xx_fires_every_parity_rule():
     assert check_fixture("rc4xx") == {"RC401", "RC402", "RC403"}
+
+
+def test_fixture_rc5xx_fires_every_robustness_rule():
+    assert check_fixture("rc5xx") == {"RC501", "RC502"}

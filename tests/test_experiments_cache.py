@@ -237,6 +237,118 @@ def test_unwritable_cache_dir_degrades_to_no_cache(sample_result, tmp_path):
     assert runner.simulations == 1
 
 
+def _stored_cache(sample_result, root):
+    cache = ResultCache(root)
+    key = run_key("srv_3", Improvement.ALL, SimConfig.main(), 1200)
+    cache.store(key, sample_result)
+    return cache, key
+
+
+def test_bit_flip_quarantines_and_misses(sample_result, tmp_path):
+    """A flipped byte must read as a miss and move the entry aside."""
+    cache, key = _stored_cache(sample_result, tmp_path)
+    path = cache._path(key)
+    raw = bytearray(path.read_bytes())
+    mid = len(raw) // 2
+    raw[mid] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    assert cache.load(key) is None
+    assert cache.quarantined == 1
+    assert not path.exists()  # moved, not left to poison the next run
+    moved = list((tmp_path / "quarantine").iterdir())
+    assert len(moved) == 1
+    assert "quarantined=1" in cache.describe()
+    # The slot is reusable immediately.
+    cache.store(key, sample_result)
+    assert cache.load(key) == sample_result
+
+
+def test_truncation_quarantines_and_misses(sample_result, tmp_path):
+    cache, key = _stored_cache(sample_result, tmp_path)
+    path = cache._path(key)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    assert cache.load(key) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+
+
+def test_any_single_byte_flip_never_returns_wrong_value(
+    sample_result, tmp_path
+):
+    """Property: a one-byte flip anywhere yields a miss or the true
+    value — never an exception, never a silently different result."""
+    cache, key = _stored_cache(sample_result, tmp_path)
+    path = cache._path(key)
+    pristine = path.read_bytes()
+    step = max(1, len(pristine) // 64)
+    for offset in range(0, len(pristine), step):
+        damaged = bytearray(pristine)
+        damaged[offset] ^= 0x01
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(bytes(damaged))
+        loaded = ResultCache(tmp_path).load(key)
+        assert loaded is None or loaded == sample_result, (
+            f"byte flip at offset {offset} misdecoded"
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pristine)
+    assert ResultCache(tmp_path).load(key) == sample_result
+
+
+def test_any_truncation_point_never_returns_wrong_value(
+    sample_result, tmp_path
+):
+    cache, key = _stored_cache(sample_result, tmp_path)
+    path = cache._path(key)
+    pristine = path.read_bytes()
+    step = max(1, len(pristine) // 32)
+    for cut in range(0, len(pristine), step):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pristine[:cut])
+        loaded = ResultCache(tmp_path).load(key)
+        assert loaded is None, f"truncation at byte {cut} misdecoded"
+
+
+def test_stale_schema_is_a_plain_miss_not_quarantine(
+    sample_result, tmp_path
+):
+    """Old-schema entries are stale, not corrupt: no quarantine noise."""
+    cache, key = _stored_cache(sample_result, tmp_path)
+    payload = json.loads(cache._path(key).read_text())
+    payload["schema"] = CACHE_SCHEMA - 1
+    cache._path(key).write_text(json.dumps(payload))
+    assert cache.load(key) is None
+    assert cache.quarantined == 0
+    assert not (tmp_path / "quarantine").exists()
+
+
+def test_digest_mismatch_quarantines(sample_result, tmp_path):
+    """Valid JSON with a tampered result payload must not be trusted."""
+    cache, key = _stored_cache(sample_result, tmp_path)
+    payload = json.loads(cache._path(key).read_text())
+    payload["result"]["stats"]["instructions"] += 1
+    cache._path(key).write_text(json.dumps(payload))
+    assert cache.load(key) is None
+    assert cache.quarantined == 1
+
+
+def test_injected_store_corruption_recovers(sample_result, tmp_path):
+    """cache.corrupt fault on the store path: next load quarantines."""
+    from repro import faults
+    from repro.faults import FaultPlan
+
+    faults.install(FaultPlan.parse("cache.corrupt:count=1"))
+    try:
+        cache, key = _stored_cache(sample_result, tmp_path)
+    finally:
+        faults.install(None)
+    assert cache.load(key) is None  # damaged at store time
+    assert cache.quarantined == 1
+    cache.store(key, sample_result)
+    assert cache.load(key) == sample_result
+
+
 def test_env_override_controls_default_dir(monkeypatch, tmp_path):
     from repro.experiments.cache import default_cache_dir
 

@@ -1,0 +1,171 @@
+"""Sweep-journal tests: checkpoint, resume, and damage tolerance.
+
+The resume contract (``repro-experiment --resume``) is that a sweep
+killed at N% replays its completed tasks from the journal — zero
+re-simulations — and that a damaged journal line costs exactly one
+re-run, never a wrong value and never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.improvements import Improvement
+from repro.experiments.cache import run_key
+from repro.experiments.journal import JOURNAL_SCHEMA, SweepJournal
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.config import SimConfig
+
+INSTRUCTIONS = 800
+NAMES = ["srv_0", "crypto_1"]
+
+
+@pytest.fixture(scope="module")
+def sample_results():
+    runner = ExperimentRunner(instructions=INSTRUCTIONS)
+    return {
+        name: runner.run(name, Improvement.NONE) for name in NAMES
+    }
+
+
+def _key(name):
+    return run_key(name, Improvement.NONE, SimConfig.main(), INSTRUCTIONS)
+
+
+# ----------------------------------------------------------------------
+# record / resume round-trip
+# ----------------------------------------------------------------------
+
+
+def test_record_and_resume_round_trip(tmp_path, sample_results):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        for name, result in sample_results.items():
+            journal.record(_key(name), result)
+        assert len(journal) == len(NAMES)
+
+    with SweepJournal(path, resume=True) as resumed:
+        assert len(resumed) == len(NAMES)
+        for name, result in sample_results.items():
+            assert resumed.lookup(_key(name)) == result
+        assert resumed.lookup("absent-key") is None
+
+
+def test_fresh_journal_truncates_previous_run(tmp_path, sample_results):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record(_key(NAMES[0]), sample_results[NAMES[0]])
+    with SweepJournal(path) as journal:  # resume=False: start over
+        assert len(journal) == 0
+    with SweepJournal(path, resume=True) as resumed:
+        assert len(resumed) == 0
+
+
+def test_record_is_idempotent_per_key(tmp_path, sample_results):
+    path = tmp_path / "sweep.jsonl"
+    result = sample_results[NAMES[0]]
+    with SweepJournal(path) as journal:
+        journal.record(_key(NAMES[0]), result)
+        journal.record(_key(NAMES[0]), result)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2  # meta + one entry, not two
+
+
+# ----------------------------------------------------------------------
+# damage tolerance
+# ----------------------------------------------------------------------
+
+
+def test_torn_final_line_is_skipped(tmp_path, sample_results):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        for name, result in sample_results.items():
+            journal.record(_key(name), result)
+    text = path.read_text()
+    # Simulate a mid-append kill: cut the last line in half.
+    path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+    with SweepJournal(path, resume=True) as resumed:
+        assert len(resumed) == len(NAMES) - 1
+        assert resumed.lookup(_key(NAMES[0])) == sample_results[NAMES[0]]
+
+
+def test_tampered_entry_digest_is_skipped(tmp_path, sample_results):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        for name, result in sample_results.items():
+            journal.record(_key(name), result)
+    lines = path.read_text().splitlines()
+    entry = json.loads(lines[1])
+    entry["result"]["stats"]["instructions"] += 1  # silent value change
+    lines[1] = json.dumps(entry, sort_keys=True)
+    path.write_text("\n".join(lines) + "\n")
+    with SweepJournal(path, resume=True) as resumed:
+        # The tampered entry is re-run, never replayed as a wrong value.
+        assert resumed.lookup(json.loads(lines[1])["key"]) is None
+        assert len(resumed) == len(NAMES) - 1
+
+
+def test_schema_mismatch_drops_whole_journal(tmp_path, sample_results):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record(_key(NAMES[0]), sample_results[NAMES[0]])
+    lines = path.read_text().splitlines()
+    meta = json.loads(lines[0])
+    meta["schema"] = JOURNAL_SCHEMA + 1
+    lines[0] = json.dumps(meta)
+    path.write_text("\n".join(lines) + "\n")
+    with SweepJournal(path, resume=True) as resumed:
+        assert len(resumed) == 0
+
+
+def test_garbage_journal_resumes_empty(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    path.write_bytes(b"\xff\xfe not a journal \x00")
+    with SweepJournal(path, resume=True) as resumed:
+        assert len(resumed) == 0
+
+
+# ----------------------------------------------------------------------
+# runner integration: resume replays zero completed tasks
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_resume_replays_zero_completed_tasks(jobs, tmp_path, sample_results):
+    path = tmp_path / "sweep.jsonl"
+    specs = [(name, Improvement.NONE, None) for name in NAMES]
+    with SweepJournal(path) as journal:
+        first_runner = ExperimentRunner(
+            instructions=INSTRUCTIONS, journal=journal
+        )
+        first = first_runner.run_batch(specs, jobs=jobs)
+    assert first_runner.simulations == len(NAMES)
+
+    with SweepJournal(path, resume=True) as journal:
+        second_runner = ExperimentRunner(
+            instructions=INSTRUCTIONS, journal=journal
+        )
+        second = second_runner.run_batch(specs, jobs=jobs)
+    assert second_runner.simulations == 0
+    assert [r.stats for r in second] == [r.stats for r in first]
+    assert [r.stats for r in first] == [
+        sample_results[name].stats for name in NAMES
+    ]
+
+
+def test_partial_journal_reruns_only_missing(tmp_path, sample_results):
+    """A sweep killed halfway re-runs exactly the unjournalled tasks."""
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record(_key(NAMES[0]), sample_results[NAMES[0]])
+
+    specs = [(name, Improvement.NONE, None) for name in NAMES]
+    with SweepJournal(path, resume=True) as journal:
+        runner = ExperimentRunner(instructions=INSTRUCTIONS, journal=journal)
+        results = runner.run_batch(specs, jobs=1)
+    assert runner.simulations == 1  # only the missing task
+    assert [r.stats for r in results] == [
+        sample_results[name].stats for name in NAMES
+    ]

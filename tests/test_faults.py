@@ -1,0 +1,312 @@
+"""Unit tests for the fault-injection subsystem (plan, sites, retry).
+
+The chaos tier (``tests/test_parallel_chaos.py``) only proves anything
+if the injection layer itself is deterministic: the same plan over the
+same workload must fire the same faults, every time, in every process.
+These tests pin the spec grammar, the counter-based schedule, the
+site-side helpers, and the retry policy's deterministic backoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+    exception_name,
+)
+from repro.faults.plan import KNOWN_SITES, SiteCounters
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """No plan before or after each test (install clears env + counters)."""
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+# ----------------------------------------------------------------------
+# plan grammar
+# ----------------------------------------------------------------------
+
+
+def test_parse_round_trips_through_to_spec():
+    text = "worker.crash:count=1;worker.hang:seconds=8:start=2;cache.corrupt"
+    plan = FaultPlan.parse(text)
+    assert FaultPlan.parse(plan.to_spec()) == plan
+    hang = plan.spec_for("worker.hang")
+    assert hang is not None
+    assert (hang.seconds, hang.start, hang.every) == (8.0, 2, 1)
+
+
+def test_parse_defaults():
+    spec = FaultPlan.parse("worker.exc").specs[0]
+    assert (spec.count, spec.start, spec.every) == (1, 0, 1)
+
+
+def test_unknown_site_fails_loudly():
+    with pytest.raises(FaultPlanError, match="unknown fault site"):
+        FaultPlan.parse("worker.crsh")
+
+
+def test_unknown_option_fails_loudly():
+    with pytest.raises(FaultPlanError, match="unknown fault option"):
+        FaultPlan.parse("worker.exc:chance=0.5")
+
+
+def test_non_numeric_value_fails_loudly():
+    with pytest.raises(FaultPlanError, match="non-numeric"):
+        FaultPlan.parse("worker.exc:count=lots")
+
+
+def test_malformed_option_fails_loudly():
+    with pytest.raises(FaultPlanError, match="malformed"):
+        FaultPlan.parse("worker.exc:count")
+
+
+def test_duplicate_site_rejected():
+    with pytest.raises(FaultPlanError, match="duplicate"):
+        FaultPlan.parse("worker.exc;worker.exc:count=2")
+
+
+def test_invalid_schedule_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(site="worker.exc", every=0)
+    with pytest.raises(FaultPlanError):
+        FaultSpec(site="worker.exc", count=-1)
+
+
+# ----------------------------------------------------------------------
+# counter-based schedule (the determinism core)
+# ----------------------------------------------------------------------
+
+
+def _schedule(spec: FaultSpec, calls: int):
+    counters = SiteCounters()
+    return [counters.decide(spec) for _ in range(calls)]
+
+
+def test_schedule_start_every_count():
+    spec = FaultSpec(site="worker.exc", count=2, start=1, every=3)
+    # Calls 0.. : skip start, then every 3rd eligible call, max 2 fires.
+    assert _schedule(spec, 9) == [
+        False, True, False, False, True, False, False, False, False,
+    ]
+
+
+def test_schedule_unlimited_count():
+    spec = FaultSpec(site="worker.exc", count=0)
+    assert _schedule(spec, 4) == [True, True, True, True]
+
+
+def test_schedule_is_deterministic_across_resets():
+    spec = FaultSpec(site="worker.exc", count=3, every=2)
+    first = _schedule(spec, 10)
+    assert _schedule(spec, 10) == first
+
+
+def test_every_known_site_parses():
+    for site in sorted(KNOWN_SITES):
+        assert FaultPlan.parse(site).specs[0].site == site
+
+
+# ----------------------------------------------------------------------
+# per-process state and the fire() gate
+# ----------------------------------------------------------------------
+
+
+def test_no_plan_means_disabled():
+    assert faults.enabled() is False
+    assert faults.active_plan() is None
+    assert faults.fire("worker.exc") is None
+
+
+def test_install_activates_and_clears():
+    faults.install(FaultPlan.parse("worker.exc:count=1"))
+    assert faults.enabled() is True
+    assert faults.fire("worker.exc") is not None
+    assert faults.fire("worker.exc") is None  # count exhausted
+    faults.install(None)
+    assert faults.enabled() is False
+
+
+def test_install_resets_counters():
+    plan = FaultPlan.parse("worker.exc:count=1")
+    faults.install(plan)
+    assert faults.fire("worker.exc") is not None
+    faults.install(plan)  # fresh schedule
+    assert faults.fire("worker.exc") is not None
+
+
+def test_env_plan_loaded_after_worker_reset(monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV, "cache.corrupt:count=2")
+    faults.reset_for_worker()
+    assert faults.enabled() is True
+    plan = faults.active_plan()
+    assert plan is not None and plan.spec_for("cache.corrupt").count == 2
+
+
+def test_installing_process_is_not_a_worker():
+    faults.install(FaultPlan.parse("worker.crash"))
+    assert faults.in_worker() is False
+
+
+def test_crash_degrades_to_exception_outside_workers():
+    faults.install(FaultPlan.parse("worker.crash:count=1"))
+    with pytest.raises(InjectedFault, match="injected worker crash"):
+        faults.worker_preamble()
+    faults.worker_preamble()  # count exhausted; no-op now
+
+
+def test_exc_site_raises_transient():
+    faults.install(FaultPlan.parse("worker.exc:count=1"))
+    with pytest.raises(InjectedFault, match="transient"):
+        faults.worker_preamble()
+
+
+# ----------------------------------------------------------------------
+# site-side helpers
+# ----------------------------------------------------------------------
+
+
+def test_corrupt_file_flips_one_byte(tmp_path):
+    path = tmp_path / "entry.json"
+    original = b"0123456789abcdef"
+    path.write_bytes(original)
+    faults.corrupt_file(path)
+    damaged = path.read_bytes()
+    assert len(damaged) == len(original)
+    assert sum(a != b for a, b in zip(damaged, original)) == 1
+
+
+def test_corrupt_file_truncates(tmp_path):
+    path = tmp_path / "entry.json"
+    path.write_bytes(b"0123456789abcdef")
+    faults.corrupt_file(path, truncate=True)
+    assert path.read_bytes() == b"01234567"
+
+
+def test_corrupt_file_missing_path_is_typed(tmp_path):
+    with pytest.raises(FaultPlanError, match="could not damage"):
+        faults.corrupt_file(tmp_path / "absent.json")
+
+
+def test_truncate_read_fires_once(tmp_path):
+    faults.install(FaultPlan.parse("io.cvp.truncate:count=1"))
+    data = bytes(range(64))
+    first = faults.truncate_read("io.cvp.truncate", data)
+    assert first == data[:32]
+    second = faults.truncate_read("io.cvp.truncate", data)
+    assert second == data
+
+
+def test_truncate_read_honours_keep_floor():
+    faults.install(FaultPlan.parse("io.champsim.truncate:count=1"))
+    data = b"abcd"
+    assert faults.truncate_read("io.champsim.truncate", data, keep_floor=3) == b"abc"
+
+
+def test_truncate_read_without_plan_is_identity():
+    data = bytes(range(16))
+    assert faults.truncate_read("io.cvp.truncate", data) is data
+
+
+def test_store_fault_corrupts_written_entry(tmp_path):
+    faults.install(FaultPlan.parse("cache.truncate:count=1"))
+    path = tmp_path / "entry.json"
+    path.write_bytes(b"0123456789abcdef")
+    faults.store_fault(path)
+    assert path.read_bytes() == b"01234567"
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+
+
+def test_exception_name_from_traceback():
+    tb = (
+        "Traceback (most recent call last):\n"
+        '  File "x.py", line 1, in f\n'
+        "    raise ValueError('nope')\n"
+        "ValueError: nope\n"
+    )
+    assert exception_name(tb) == "ValueError"
+
+
+def test_exception_name_dotted_class():
+    tb = "repro.faults.inject.InjectedFault: injected transient\n"
+    assert exception_name(tb) == "repro.faults.inject.InjectedFault"
+
+
+def test_exception_name_unrecognisable():
+    assert exception_name("not a traceback at all!") == ""
+    assert exception_name("") == ""
+
+
+def test_fatal_classes_never_retry():
+    policy = RetryPolicy(attempts=5)
+    assert policy.is_retryable("KeyboardInterrupt") is False
+    assert policy.is_retryable("SystemExit") is False
+    assert policy.is_retryable("ValueError") is True
+
+
+def test_retryable_whitelist_suffix_match():
+    policy = RetryPolicy(retryable=("InjectedFault", "OSError"))
+    assert policy.is_retryable("repro.faults.inject.InjectedFault") is True
+    assert policy.is_retryable("OSError") is True
+    assert policy.is_retryable("ValueError") is False
+    assert policy.is_retryable("") is False
+
+
+def test_classify_joins_name_and_verdict():
+    policy = RetryPolicy()
+    name, retryable = policy.classify("RuntimeError: boom\n")
+    assert (name, retryable) == ("RuntimeError", True)
+
+
+def test_default_policy_has_no_backoff_delay():
+    policy = RetryPolicy.default()
+    assert policy.attempts == 2
+    assert policy.delay(1, "k") == 0.0
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(
+        attempts=6, backoff_base=1.0, backoff_multiplier=2.0, backoff_max=5.0
+    )
+    assert [policy.delay(a) for a in (1, 2, 3, 4, 5)] == [
+        1.0, 2.0, 4.0, 5.0, 5.0,
+    ]
+
+
+def test_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(
+        attempts=4, backoff_base=1.0, jitter=0.5, seed=7
+    )
+    first = policy.delay(2, "task-a")
+    assert policy.delay(2, "task-a") == first  # same key: same delay
+    assert policy.delay(2, "task-b") != first  # keys de-synchronise
+    nominal = 2.0
+    assert nominal * 0.5 <= first <= nominal * 1.5
+
+
+def test_different_seeds_spread_differently():
+    a = RetryPolicy(backoff_base=1.0, jitter=0.9, seed=1)
+    b = RetryPolicy(backoff_base=1.0, jitter=0.9, seed=2)
+    assert a.delay(1, "k") != b.delay(1, "k")
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="attempts"):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError, match="jitter"):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError, match="delays"):
+        RetryPolicy(backoff_base=-1.0)
