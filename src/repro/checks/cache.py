@@ -37,7 +37,7 @@ CHECK_SCHEMA = 1
 #: Bump whenever any rule's behaviour changes (new rules, changed
 #: checks, changed messages) — cached reports from older rule sets must
 #: miss.
-CHECK_RULESET_VERSION = 2
+CHECK_RULESET_VERSION = 3
 
 
 def check_key(

@@ -19,6 +19,14 @@ statically:
 - **RC403** requires ``SimStats.to_dict()`` to export every counter
   field, so a new counter cannot be invisible in results and reports
   (and, because RC401 keys off the field list, cannot dodge parity).
+- **RC404** extends parity *below* the engines to the batched component
+  twins: a method named ``<stem>_batch``/``<stem>_run`` whose stem
+  resolves into sibling scalar methods (``prefetch_data_run`` →
+  ``prefetch_data``; ``predict_update_batch`` → ``predict`` + ``update``)
+  must touch every counter-like ``self`` attribute — and make every
+  ``SimStats`` recorder call — that its scalar counterparts do.  The
+  engine-level RC401 diff cannot see these: both engines import the
+  component module, so it lands on neither side.
 
 Side membership is derived structurally, not from hard-coded paths.
 ``VectorEngine`` subclasses ``Engine``, so code splits three ways:
@@ -43,6 +51,7 @@ from repro.checks.findings import Finding
 from repro.checks.project import (
     CheckProject,
     SourceModule,
+    call_name,
     dataclass_field_names,
     dotted_name,
     string_constants,
@@ -341,3 +350,125 @@ class StatsExportRule(ProjectCheckRule):
                     f"{field_name!r}; the counter is invisible in "
                     "results and parity checks",
                 )
+
+
+def _partition_stem(stem: str, siblings: Set[str]) -> Optional[List[str]]:
+    """Greedy left-to-right partition of ``stem`` into sibling method
+    names, longest match first.
+
+    ``predict_update`` with siblings ``{predict, update}`` yields
+    ``['predict', 'update']``; ``prefetch_data`` with a sibling named
+    exactly that yields the one-element list.  ``None`` when any token
+    run fails to resolve — the method is then not a batched twin and
+    RC404 leaves it alone.
+    """
+    tokens = stem.split("_")
+    parts: List[str] = []
+    i = 0
+    while i < len(tokens):
+        for j in range(len(tokens), i, -1):
+            candidate = "_".join(tokens[i:j])
+            if candidate in siblings:
+                parts.append(candidate)
+                i = j
+                break
+        else:
+            return None
+    return parts
+
+
+def _augassigned_self_attrs(cls_node: ast.ClassDef) -> Set[str]:
+    """``self`` attributes any method of the class ``+=``-updates —
+    the structural signature of a counter."""
+    return {
+        node.target.attr
+        for node in ast.walk(cls_node)
+        if isinstance(node, ast.AugAssign)
+        and isinstance(node.target, ast.Attribute)
+        and isinstance(node.target.value, ast.Name)
+        and node.target.value.id == "self"
+    }
+
+
+def _counter_mentions(fn: ast.FunctionDef, interesting: Set[str]) -> Set[str]:
+    """Counter attributes and recorder names ``fn`` mentions.
+
+    A bare attribute read counts: the batched twin may fold a counter
+    into a local and add it once, and that still 'touches' the counter
+    the way RC401 credits mentions.
+    """
+    return {
+        node.attr
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Attribute) and node.attr in interesting
+    }
+
+
+@register
+class BatchTwinParityRule(ProjectCheckRule):
+    rule_id = "RC404"
+    title = "Batched twins must update the counters their scalar counterparts do"
+    rationale = (
+        "A batched component method that drops a counter update made "
+        "by its per-call counterpart diverges the engines' reported "
+        "physics whenever the batch fast path runs — and the "
+        "engine-level parity diff cannot see it, because component "
+        "modules are imported by both engines and so sit on neither side."
+    )
+
+    def check(self, project: CheckProject) -> Iterator[Finding]:
+        stats = project.find_class("SimStats")
+        recorder_names: Set[str] = set()
+        if stats is not None:
+            _, stats_cls = stats
+            recorder_names = set(
+                _recorder_map(stats_cls, _counter_fields(stats_cls))
+            )
+        for module in project.modules:
+            for cls_node in module.tree.body:
+                if not isinstance(cls_node, ast.ClassDef):
+                    continue
+                methods = {
+                    stmt.name: stmt
+                    for stmt in cls_node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                }
+                interesting = _augassigned_self_attrs(cls_node) | recorder_names
+                if not interesting:
+                    continue
+                for name, twin in sorted(methods.items()):
+                    if not name.endswith(("_batch", "_run")):
+                        continue
+                    siblings = set(methods) - {name}
+                    parts = _partition_stem(name[: name.rfind("_")], siblings)
+                    if not parts:
+                        continue
+                    required: Set[str] = set()
+                    for counterpart in parts:
+                        required |= _counter_mentions(
+                            methods[counterpart], interesting
+                        )
+                    touched = _counter_mentions(twin, interesting)
+                    # A twin that delegates per-item work to a sibling
+                    # method inherits that sibling's counter updates.
+                    delegates = {
+                        call_name(node)
+                        for node in ast.walk(twin)
+                        if isinstance(node, ast.Call)
+                    } & siblings
+                    for delegate in delegates:
+                        touched |= _counter_mentions(
+                            methods[delegate], interesting
+                        )
+                    missing = sorted(required - touched)
+                    if missing:
+                        yield self.finding(
+                            module,
+                            twin,
+                            f"batched twin {cls_node.name}.{name}() never "
+                            f"updates {', '.join(missing)}; its scalar "
+                            f"counterpart{'s' if len(parts) > 1 else ''} "
+                            f"({', '.join(parts)}) "
+                            f"{'do' if len(parts) > 1 else 'does'} — the "
+                            "batch fast path under-reports",
+                        )

@@ -1,0 +1,163 @@
+"""Whole-trace branch resolution for the batched vector engine.
+
+The engine's branch block is *timing-independent*: the direction
+predictor, BTB, RAS and ITTAGE receive only ``(ip, taken, target,
+branch_type)`` — never a cycle count — and the trace supplies the actual
+outcomes, so the entire branch subsequence of a run can be resolved in
+one precompute pass before the timing sweep.  The sweep then consumes a
+per-branch *code* stream:
+
+- ``0`` — no redirect;
+- ``1`` — misprediction (direction or target): redirect at
+  ``complete + mispredict_restart``;
+- ``2`` — BTB miss on a taken branch: decode-time re-steer at
+  ``fetch_time + btb_miss_penalty``.
+
+The four components are mutually state-disjoint, so each one's full
+subsequence is processed in its own batched call (its *internal*
+per-branch call order — lookup before conditional install, pop before
+push, predict before conditional update — is preserved exactly), which
+keeps every table, stack, and RNG bit-identical to the scalar engine's
+interleaved per-branch calls.
+
+Alongside the codes, the pass pre-tallies the post-warm-up branch
+statistics the sweep folds into ``SimStats`` (it never touches stats
+itself — the engine owns that fold).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.champsim.branch_info import BranchType
+from repro.sim.branch.base import DirectionPredictor
+from repro.sim.branch.btb import BTB
+from repro.sim.branch.ittage import ITTAGE
+from repro.sim.branch.ras import ReturnAddressStack
+
+_BT_COND = BranchType.CONDITIONAL
+_BT_RETURN = BranchType.RETURN
+_INDIRECT_TYPES = (BranchType.INDIRECT, BranchType.INDIRECT_CALL)
+
+#: ``(branches, taken, direction_wrong, target_wrong, mispredicted,
+#: by_type, target_misses_by_type)`` — post-warm-up tallies.
+BranchTallies = Tuple[
+    int, int, int, int, int, Dict[BranchType, int], Dict[BranchType, int]
+]
+
+#: ``(codes, tallies)`` — one code per branch, plus the stat tallies.
+BranchPlan = Tuple[List[int], BranchTallies]
+
+
+def resolve_branch_plan(
+    indices: Sequence[int],
+    ips: Sequence[int],
+    branch_types: Sequence[BranchType],
+    takens: Sequence[bool],
+    targets: Sequence[int],
+    direction: DirectionPredictor,
+    btb: BTB,
+    ras: ReturnAddressStack,
+    ittage: Optional[ITTAGE],
+    ideal_targets: bool,
+    warmup: int,
+) -> BranchPlan:
+    """Resolve every branch of a run against fresh component state.
+
+    ``indices`` are the branches' global instruction indices (for the
+    warm-up gate); the remaining columns are the branch subsequence of
+    :class:`~repro.sim.decoded.DecodedColumns`.  The components are
+    mutated exactly as the scalar engine would mutate them.
+    """
+    n = len(ips)
+    cond_ips: List[int] = []
+    cond_takens: List[bool] = []
+    for i in range(n):
+        if branch_types[i] is _BT_COND:
+            cond_ips.append(ips[i])
+            cond_takens.append(takens[i])
+    dir_preds = direction.predict_update_batch(cond_ips, cond_takens)
+
+    entries: Optional[List[Optional[Tuple[int, BranchType]]]] = None
+    ras_preds: List[Optional[int]] = []
+    itt_preds: List[Optional[int]] = []
+    if not ideal_targets:
+        entries = btb.lookup_install_batch(ips, takens, targets, branch_types)
+        ras_preds = ras.pop_push_batch(branch_types, ips)
+        if ittage is not None:
+            ind = [i for i in range(n) if branch_types[i] in _INDIRECT_TYPES]
+            itt_preds = ittage.predict_update_batch(
+                [ips[i] for i in ind],
+                [takens[i] for i in ind],
+                [targets[i] for i in ind],
+            )
+
+    codes = [0] * n
+    b_branches = 0
+    b_taken = 0
+    b_direction = 0
+    b_target = 0
+    b_mispredicted = 0
+    by_type: Dict[BranchType, int] = {}
+    tgt_by_type: Dict[BranchType, int] = {}
+
+    ci = 0  # cursor over the conditional subsequence
+    ki = 0  # cursor over the indirect subsequence
+    for i in range(n):
+        branch_type = branch_types[i]
+        taken = takens[i]
+
+        if branch_type is _BT_COND:
+            pred_taken = dir_preds[ci]
+            ci += 1
+            direction_wrong = pred_taken != taken
+        else:
+            pred_taken = True
+            direction_wrong = False
+
+        target_wrong = False
+        btb_hit = True
+        if entries is not None:
+            entry = entries[i]
+            btb_hit = entry is not None
+            if branch_type is _BT_RETURN:
+                pred_target = ras_preds[i]
+            elif branch_type in _INDIRECT_TYPES:
+                pred_target = None
+                if ittage is not None:
+                    pred_target = itt_preds[ki]
+                    ki += 1
+                if pred_target is None and entry is not None:
+                    pred_target = entry[0]
+            else:
+                pred_target = entry[0] if entry is not None else None
+            if taken and pred_taken:
+                target_wrong = pred_target is None or pred_target != targets[i]
+
+        if direction_wrong or target_wrong:
+            codes[i] = 1
+        elif taken and not ideal_targets and not btb_hit:
+            codes[i] = 2
+
+        if indices[i] >= warmup:
+            b_branches += 1
+            by_type[branch_type] = by_type.get(branch_type, 0) + 1
+            if taken:
+                b_taken += 1
+            if direction_wrong:
+                b_direction += 1
+            if target_wrong:
+                b_target += 1
+                tgt_by_type[branch_type] = tgt_by_type.get(branch_type, 0) + 1
+            if direction_wrong or target_wrong:
+                b_mispredicted += 1
+
+    return codes, (
+        b_branches,
+        b_taken,
+        b_direction,
+        b_target,
+        b_mispredicted,
+        by_type,
+        tgt_by_type,
+    )

@@ -3,7 +3,7 @@ always-taken baseline used by tests."""
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.sim.branch.base import DirectionPredictor
 
@@ -30,6 +30,26 @@ class Bimodal(DirectionPredictor):
         elif counter > 0:
             self._table[idx] = counter - 1
 
+    def predict_update_batch(
+        self, ips: Sequence[int], takens: Sequence[bool]
+    ) -> List[bool]:
+        table = self._table
+        mask = self._mask
+        preds = [False] * len(ips)
+        for i, ip in enumerate(ips):
+            idx = (ip >> 2) & mask
+            counter = table[idx]
+            preds[i] = counter >= 2
+            if takens[i]:
+                if counter < 3:
+                    table[idx] = counter + 1
+            elif counter > 0:
+                table[idx] = counter - 1
+        return preds
+
+    def reset(self) -> None:
+        self._table[:] = [2] * len(self._table)
+
 
 class AlwaysTaken(DirectionPredictor):
     """Predicts taken unconditionally (testing baseline)."""
@@ -39,3 +59,8 @@ class AlwaysTaken(DirectionPredictor):
 
     def update(self, ip: int, taken: bool) -> None:
         pass
+
+    def predict_update_batch(
+        self, ips: Sequence[int], takens: Sequence[bool]
+    ) -> List[bool]:
+        return [True] * len(ips)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.champsim.branch_info import BranchType
 
@@ -49,3 +49,44 @@ class BTB:
         if len(way_set) >= self._ways:
             way_set.popitem(last=False)
         way_set[ip] = (target, branch_type)
+
+    def lookup_install_batch(
+        self,
+        ips: Sequence[int],
+        takens: Sequence[bool],
+        targets: Sequence[int],
+        branch_types: Sequence[BranchType],
+    ) -> List[Optional[Tuple[int, BranchType]]]:
+        """Per-branch lookup, then install for taken branches.
+
+        One call per branch subsequence; interleaves exactly the scalar
+        engine's ``lookup`` → (taken?) ``install`` pair per branch so
+        LRU order and evictions evolve bit-identically.
+        """
+        sets = self._sets
+        num_sets = self._num_sets
+        ways = self._ways
+        entries: List[Optional[Tuple[int, BranchType]]] = [None] * len(ips)
+        for i, ip in enumerate(ips):
+            index = (ip >> 2) % num_sets
+            way_set = sets.get(index)
+            if way_set is not None:
+                entry = way_set.get(ip)
+                if entry is not None:
+                    way_set.move_to_end(ip)
+                    entries[i] = entry
+            if takens[i]:
+                if way_set is None:
+                    way_set = sets[index] = OrderedDict()
+                if ip in way_set:
+                    way_set[ip] = (targets[i], branch_types[i])
+                    way_set.move_to_end(ip)
+                else:
+                    if len(way_set) >= ways:
+                        way_set.popitem(last=False)
+                    way_set[ip] = (targets[i], branch_types[i])
+        return entries
+
+    def reset(self) -> None:
+        """Drop all entries (for component pooling)."""
+        self._sets.clear()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.sim.branch.base import DirectionPredictor
 
@@ -37,3 +37,30 @@ class GShare(DirectionPredictor):
         elif counter > 0:
             self._table[idx] = counter - 1
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def predict_update_batch(
+        self, ips: Sequence[int], takens: Sequence[bool]
+    ) -> List[bool]:
+        table = self._table
+        mask = self._mask
+        history = self._history
+        history_mask = self._history_mask
+        preds = [False] * len(ips)
+        for i, ip in enumerate(ips):
+            idx = ((ip >> 2) ^ history) & mask
+            counter = table[idx]
+            preds[i] = counter >= 2
+            if takens[i]:
+                if counter < 3:
+                    table[idx] = counter + 1
+                history = ((history << 1) | 1) & history_mask
+            else:
+                if counter > 0:
+                    table[idx] = counter - 1
+                history = (history << 1) & history_mask
+        self._history = history
+        return preds
+
+    def reset(self) -> None:
+        self._table[:] = [2] * len(self._table)
+        self._history = 0

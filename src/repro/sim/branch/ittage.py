@@ -4,19 +4,26 @@ Tagged tables indexed by PC and geometrically increasing path history,
 each entry holding a full target and a confidence counter; the longest
 matching component provides the prediction, with allocation on target
 misses — the structure of Seznec's 64KB ITTAGE, reduced in size.
+
+Like :class:`~repro.sim.branch.tage.Tage`, storage is array-backed: each
+table is four parallel flat ``int`` lists (tag, target, confidence,
+valid).  Every read is valid-gated and allocation writes all fields, so
+:meth:`ITTAGE.reset` only clears the valid columns.
+
+Unlike TAGE's outcome history, the path history folds a multi-bit slice
+of each target (``target >> 2``) into the register, so it is not a
+shift-register amenable to incremental fold maintenance; the batched
+path (:meth:`ITTAGE.predict_update_batch`) therefore loops the scalar
+pair with hoisted bound methods — indirect branches are rare enough
+that this is already off the critical path once the direction and BTB
+batches land.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
-
-@dataclass
-class _Entry:
-    tag: int
-    target: int
-    confidence: int = 1
+_PATH_MASK = (1 << 128) - 1
 
 
 class ITTAGE:
@@ -33,16 +40,27 @@ class ITTAGE:
         self._num_tables = num_tables
         self._table_mask = (1 << table_bits) - 1
         self._tag_mask = (1 << tag_bits) - 1
-        self._tables: List[List[Optional[_Entry]]] = [
-            [None] * (1 << table_bits) for _ in range(num_tables)
-        ]
+        size = 1 << table_bits
+        # Parallel flat columns per table; ``_valid`` gates every read.
+        self._tags: List[List[int]] = [[0] * size for _ in range(num_tables)]
+        self._targets: List[List[int]] = [[0] * size for _ in range(num_tables)]
+        self._conf: List[List[int]] = [[0] * size for _ in range(num_tables)]
+        self._valid: List[List[int]] = [[0] * size for _ in range(num_tables)]
         ratio = (max_history / min_history) ** (1.0 / max(1, num_tables - 1))
         self._hist_lens = [
             int(round(min_history * ratio**i)) for i in range(num_tables)
         ]
         self._path = 0
         #: Base table: last-target per PC.
-        self._base: dict = {}
+        self._base: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Restore construction-time state (for component pooling)."""
+        zeros = [0] * (self._table_mask + 1)
+        for valid in self._valid:
+            valid[:] = zeros
+        self._path = 0
+        self._base.clear()
 
     def _fold(self, length: int, bits: int) -> int:
         hist = self._path & ((1 << length) - 1)
@@ -63,45 +81,75 @@ class ITTAGE:
     def predict(self, ip: int) -> Optional[int]:
         """Predicted target for the indirect branch at ``ip``."""
         for table in range(self._num_tables - 1, -1, -1):
-            entry = self._tables[table][self._index(ip, table)]
-            if entry is not None and entry.tag == self._tag(ip, table):
-                return entry.target
+            idx = self._index(ip, table)
+            if self._valid[table][idx] and self._tags[table][idx] == self._tag(
+                ip, table
+            ):
+                return self._targets[table][idx]
         return self._base.get(ip)
 
     def update(self, ip: int, target: int) -> None:
         """Train with the actual target and advance path history."""
-        provider = None
+        provider = -1
+        provider_idx = 0
         for table in range(self._num_tables - 1, -1, -1):
-            entry = self._tables[table][self._index(ip, table)]
-            if entry is not None and entry.tag == self._tag(ip, table):
-                provider = (table, entry)
+            idx = self._index(ip, table)
+            if self._valid[table][idx] and self._tags[table][idx] == self._tag(
+                ip, table
+            ):
+                provider = table
+                provider_idx = idx
                 break
 
-        if provider is not None:
-            table, entry = provider
-            if entry.target == target:
-                entry.confidence = min(3, entry.confidence + 1)
+        if provider >= 0:
+            if self._targets[provider][provider_idx] == target:
+                conf = self._conf[provider]
+                conf[provider_idx] = min(3, conf[provider_idx] + 1)
             else:
-                if entry.confidence > 0:
-                    entry.confidence -= 1
+                conf = self._conf[provider]
+                if conf[provider_idx] > 0:
+                    conf[provider_idx] -= 1
                 else:
-                    entry.target = target
+                    self._targets[provider][provider_idx] = target
                 # Allocate in a longer table for the new correlation.
-                for higher in range(table + 1, self._num_tables):
+                for higher in range(provider + 1, self._num_tables):
                     idx = self._index(ip, higher)
-                    slot = self._tables[higher][idx]
-                    if slot is None or slot.confidence == 0:
-                        self._tables[higher][idx] = _Entry(
-                            tag=self._tag(ip, higher), target=target
-                        )
+                    if not self._valid[higher][idx] or self._conf[higher][idx] == 0:
+                        self._valid[higher][idx] = 1
+                        self._tags[higher][idx] = self._tag(ip, higher)
+                        self._targets[higher][idx] = target
+                        self._conf[higher][idx] = 1
                         break
         else:
             predicted = self._base.get(ip)
             if predicted is not None and predicted != target:
                 idx = self._index(ip, 0)
-                slot = self._tables[0][idx]
-                if slot is None or slot.confidence == 0:
-                    self._tables[0][idx] = _Entry(tag=self._tag(ip, 0), target=target)
+                if not self._valid[0][idx] or self._conf[0][idx] == 0:
+                    self._valid[0][idx] = 1
+                    self._tags[0][idx] = self._tag(ip, 0)
+                    self._targets[0][idx] = target
+                    self._conf[0][idx] = 1
             self._base[ip] = target
 
-        self._path = ((self._path << 2) ^ (target >> 2)) & ((1 << 128) - 1)
+        self._path = ((self._path << 2) ^ (target >> 2)) & _PATH_MASK
+
+    def predict_update_batch(
+        self,
+        ips: Sequence[int],
+        takens: Sequence[bool],
+        targets: Sequence[int],
+    ) -> List[Optional[int]]:
+        """Predict every indirect branch, training the taken ones.
+
+        Mirrors the scalar call sites: ``predict`` per indirect branch,
+        ``update`` only when it was taken (the engine installs targets
+        at resolution of taken branches).
+        """
+        predict = self.predict
+        update = self.update
+        preds: List[Optional[int]] = [None] * len(ips)
+        for i, ip in enumerate(ips):
+            preds[i] = predict(ip)
+            if takens[i]:
+                update(ip, targets[i])
+        return preds

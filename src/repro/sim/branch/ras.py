@@ -9,7 +9,12 @@ stack for every genuine return above them.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+from repro.champsim.branch_info import BranchType
+
+_RETURN = BranchType.RETURN
+_CALLS = (BranchType.DIRECT_CALL, BranchType.INDIRECT_CALL)
 
 
 class ReturnAddressStack:
@@ -35,5 +40,31 @@ class ReturnAddressStack:
             return None
         return self._stack.pop()
 
+    def pop_push_batch(
+        self, branch_types: Sequence[BranchType], ips: Sequence[int]
+    ) -> List[Optional[int]]:
+        """Pop returns and push calls for a whole branch subsequence.
+
+        Returns the pop result at RETURN positions (``None`` elsewhere
+        and on underflow), matching the scalar engine's per-branch
+        ``pop``/``push`` order bit-identically.
+        """
+        stack = self._stack
+        size = self._size
+        preds: List[Optional[int]] = [None] * len(branch_types)
+        for i, branch_type in enumerate(branch_types):
+            if branch_type is _RETURN:
+                if stack:
+                    preds[i] = stack.pop()
+            elif branch_type in _CALLS:
+                if len(stack) >= size:
+                    stack.pop(0)
+                stack.append(ips[i] + 4)
+        return preds
+
     def clear(self) -> None:
+        self._stack.clear()
+
+    def reset(self) -> None:
+        """Restore construction-time state (component-pool reuse)."""
         self._stack.clear()

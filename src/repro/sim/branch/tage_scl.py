@@ -18,7 +18,7 @@ Both components follow the published design's structure at reduced size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.sim.branch.base import DirectionPredictor
 from repro.sim.branch.tage import Tage
@@ -91,6 +91,10 @@ class LoopPredictor:
             entry.confidence = 0
         entry.current = 0
 
+    def reset(self) -> None:
+        """Restore construction-time state (for component pooling)."""
+        self._table.clear()
+
 
 class StatisticalCorrector:
     """Perceptron-flavoured vote on whether to trust TAGE.
@@ -136,6 +140,12 @@ class StatisticalCorrector:
                 table[idx] = max(-32, table[idx] - 1)
         self._history = ((self._history << 1) | int(taken)) & 0xFFFF
 
+    def reset(self) -> None:
+        """Restore construction-time state (for component pooling)."""
+        for table in self._tables:
+            table[:] = [0] * len(table)
+        self._history = 0
+
 
 class TageSCL(DirectionPredictor):
     """The composed predictor: loop override → TAGE → corrector vote."""
@@ -157,3 +167,38 @@ class TageSCL(DirectionPredictor):
         self.loop.update(ip, taken)
         self.corrector.update(ip, tage_pred, taken)
         self.tage.update(ip, taken)
+
+    def predict_update_batch(
+        self, ips: Sequence[int], takens: Sequence[bool]
+    ) -> List[bool]:
+        """Batched predict/update, bit-identical to the serial pairs.
+
+        The scalar engine's per-branch sequence touches TAGE as (up to)
+        ``predict``, ``predict``, ``update`` on the same ip with no
+        intervening TAGE state change — ``loop`` and ``corrector`` share
+        no state with it — so TAGE's state evolution is exactly one
+        predict/update pair per branch and its whole subsequence can be
+        delegated to :meth:`Tage.predict_update_batch`.  The loop
+        predictor and corrector stay serial (their per-branch reads
+        precede their per-branch writes, in program order).
+        """
+        tage_preds = self.tage.predict_update_batch(ips, takens)
+        loop_predict = self.loop.predict
+        loop_update = self.loop.update
+        vote = self.corrector.vote
+        corrector_update = self.corrector.update
+        preds = [False] * len(ips)
+        for i, ip in enumerate(ips):
+            taken = takens[i]
+            tage_pred = tage_preds[i]
+            loop_pred = loop_predict(ip)
+            preds[i] = loop_pred if loop_pred is not None else vote(ip, tage_pred)
+            loop_update(ip, taken)
+            corrector_update(ip, tage_pred, taken)
+        return preds
+
+    def reset(self) -> None:
+        """Restore construction-time state (for component pooling)."""
+        self.tage.reset()
+        self.loop.reset()
+        self.corrector.reset()

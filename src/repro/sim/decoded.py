@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.champsim.branch_info import BranchRules, BranchType, deduce_branch_type
 from repro.champsim.trace import ChampSimInstr
+from repro.sim.config import SimConfig
 
 try:  # numpy accelerates columnarisation; the fallback is pure python
     import numpy as _np
@@ -171,6 +172,10 @@ class DecodedColumns:
         "src_mems",
         "dst_mems",
         "max_reg",
+        "plan_cache",
+        "_branch_view",
+        "_access_events",
+        "_fetch_events",
     )
 
     def __init__(self, decoded: Sequence[DecodedInstr]) -> None:
@@ -216,9 +221,143 @@ class DecodedColumns:
                 if reg > max_reg:
                     max_reg = reg
         self.max_reg = max_reg
+        #: Memoized component plans, keyed by the tuples from
+        #: :meth:`plan_keys`.  The columns are immutable once built, so a
+        #: plan resolved for one run is bit-identically valid for every
+        #: later run over the same columns with the same component config.
+        self.plan_cache: dict = {}
+        self._branch_view: Optional[
+            Tuple[
+                List[int],
+                List[int],
+                List[BranchType],
+                List[bool],
+                List[int],
+            ]
+        ] = None
+        self._access_events: Optional[Tuple[List[int], List[int]]] = None
+        self._fetch_events: Optional[
+            List[Tuple[int, Optional[int], BranchType, Optional[int]]]
+        ] = None
 
     def __len__(self) -> int:
         return self.n
+
+    # ------------------------------------------------------------------
+    # derived event streams for batched component plans
+    # ------------------------------------------------------------------
+
+    def branch_view(
+        self,
+    ) -> Tuple[List[int], List[int], List[BranchType], List[bool], List[int]]:
+        """Columns restricted to branches: (indices, ips, types, takens,
+        targets), in program order.  Cached after the first call."""
+        view = self._branch_view
+        if view is None:
+            idxs = [
+                i for i, kind in enumerate(self.kinds) if kind & KIND_BRANCH
+            ]
+            ips = self.ips
+            types = self.branch_types
+            takens = self.branch_takens
+            targets = self.targets
+            view = self._branch_view = (
+                idxs,
+                [ips[i] for i in idxs],
+                [types[i] for i in idxs],
+                [takens[i] for i in idxs],
+                [targets[i] for i in idxs],
+            )
+        return view
+
+    def access_events(self) -> Tuple[List[int], List[int]]:
+        """The demand data-access stream as parallel (ip, addr) columns.
+
+        One event per address the engine's data path walks: for a memory
+        instruction, the source-memory operands when present, else the
+        destination-memory operands — mirroring the engine's load-first
+        rule.  Cached after the first call.
+        """
+        events = self._access_events
+        if events is None:
+            ev_ips: List[int] = []
+            ev_addrs: List[int] = []
+            ips = self.ips
+            src_mems = self.src_mems
+            dst_mems = self.dst_mems
+            for i, kind in enumerate(self.kinds):
+                if kind & 3:
+                    addrs = src_mems[i] if kind & 1 else dst_mems[i]
+                    ip = ips[i]
+                    for addr in addrs:
+                        ev_ips.append(ip)
+                        ev_addrs.append(addr)
+            events = self._access_events = (ev_ips, ev_addrs)
+        return events
+
+    def fetch_events(
+        self,
+    ) -> List[Tuple[int, Optional[int], BranchType, Optional[int]]]:
+        """The demand fetch stream as (line, branch_ip, branch_type,
+        branch_target) events, one per ``new_line`` break.
+
+        Branch context follows the engine's cleared-at-consume rule: a
+        fetch event carries the most recent branch *completed before it*
+        since the previous fetch event (branches resolve after their own
+        line's fetch), and consuming the context clears it.  The target
+        is attached only for taken branches.  Cached after the first
+        call.
+        """
+        events = self._fetch_events
+        if events is None:
+            events = []
+            append = events.append
+            not_branch = BranchType.NOT_BRANCH
+            branch_ip: Optional[int] = None
+            branch_type = not_branch
+            branch_target: Optional[int] = None
+            lines = self.lines
+            new_line = self.new_line
+            ips = self.ips
+            branch_types = self.branch_types
+            branch_takens = self.branch_takens
+            targets = self.targets
+            for i, kind in enumerate(self.kinds):
+                if new_line[i]:
+                    append((lines[i], branch_ip, branch_type, branch_target))
+                    branch_ip = None
+                    branch_type = not_branch
+                    branch_target = None
+                if kind & KIND_BRANCH:
+                    branch_ip = ips[i]
+                    branch_type = branch_types[i]
+                    branch_target = targets[i] if branch_takens[i] else None
+            self._fetch_events = events
+        return events
+
+    def plan_keys(
+        self, config: SimConfig
+    ) -> Tuple[tuple, tuple, tuple]:
+        """Cache keys for the branch / data-prefetch / instruction-
+        prefetch plans under ``config``.
+
+        Each key covers exactly the configuration fields that shape the
+        corresponding plan (component construction parameters plus, for
+        branches, the warm-up boundary that gates tallies).
+        """
+        branch_key = (
+            "branch",
+            config.direction_predictor,
+            config.btb_entries,
+            config.btb_ways,
+            config.ras_size,
+            config.indirect_predictor,
+            config.ideal_targets,
+            config.warmup_fraction,
+        )
+        dpf_key = ("dpf", config.l1d_prefetcher)
+        ipf_key = ("ipf", config.l1i_prefetcher)
+        return branch_key, dpf_key, ipf_key
 
 
 def columnarize(

@@ -128,6 +128,51 @@ def emit_engine_obs(component_time: Dict[str, float], n: int, cycles: int) -> No
     ).inc(cycles)
 
 
+class ComponentPool:
+    """Constructed components captured from a finished engine for reuse.
+
+    Component construction (TAGE's flat tables, the cache level dicts,
+    the prefetcher tables) costs real time per run, and the simulator
+    drives many runs of the same configuration over one trace.  A pool
+    captures the finished engine's component objects; the next engine
+    built for the *same* engine type and configuration adopts them,
+    resetting each to construction-time state against its fresh
+    :class:`~repro.sim.stats.SimStats` — every component's ``reset``
+    contract makes the adopted run bit-identical to a cold one.
+    """
+
+    __slots__ = (
+        "engine_type",
+        "config",
+        "hierarchy",
+        "l1i_prefetcher",
+        "direction",
+        "btb",
+        "ras",
+        "ittage",
+    )
+
+    def __init__(
+        self,
+        engine_type: type,
+        config: SimConfig,
+        hierarchy: Any,
+        l1i_prefetcher: Any,
+        direction: Any,
+        btb: Any,
+        ras: Any,
+        ittage: Any,
+    ) -> None:
+        self.engine_type = engine_type
+        self.config = config
+        self.hierarchy = hierarchy
+        self.l1i_prefetcher = l1i_prefetcher
+        self.direction = direction
+        self.btb = btb
+        self.ras = ras
+        self.ittage = ittage
+
+
 class Engine:
     """Single-run engine; construct fresh per simulation.
 
@@ -136,14 +181,51 @@ class Engine:
     :class:`~repro.champsim.trace.ChampSimInstr` sequences and decode
     them through the shared pre-decode memo, so warm-up+measure loops
     over one trace stop re-decoding the same hot instructions.
+
+    ``component_pool`` (also simulator-supplied) recycles the previous
+    run's component objects when the engine type and configuration
+    match, skipping reconstruction; see :class:`ComponentPool`.
+    ``batch_components`` lets callers force the scalar per-call
+    component path in engines that support batched component plans (the
+    vector engine); the scalar engine ignores it.
     """
 
     def __init__(
-        self, config: SimConfig, decode_cache: "Optional[DecodeCache]" = None
+        self,
+        config: SimConfig,
+        decode_cache: "Optional[DecodeCache]" = None,
+        component_pool: "Optional[ComponentPool]" = None,
+        batch_components: bool = True,
     ) -> None:
         self.config = config
         self.decode_cache = decode_cache
+        self._batch_components = batch_components
         self.stats = SimStats()
+        pool = component_pool
+        if (
+            pool is not None
+            and pool.engine_type is type(self)
+            and pool.config == config
+        ):
+            hierarchy = self.hierarchy = pool.hierarchy
+            hierarchy.reset(self.stats)
+            if hierarchy.l1d_prefetcher is not None:
+                hierarchy.l1d_prefetcher.reset()
+            if hierarchy.l2_prefetcher is not None:
+                hierarchy.l2_prefetcher.reset()
+            self.l1i_prefetcher = pool.l1i_prefetcher
+            if self.l1i_prefetcher is not None:
+                self.l1i_prefetcher.reset()
+            self.direction = pool.direction
+            self.direction.reset()
+            self.btb = pool.btb
+            self.btb.reset()
+            self.ras = pool.ras
+            self.ras.reset()
+            self.ittage = pool.ittage
+            if self.ittage is not None:
+                self.ittage.reset()
+            return
         self.hierarchy = self._build_hierarchy(config, self.stats)
         self.hierarchy.l1d_prefetcher = make_data_prefetcher(
             config.l1d_prefetcher, "l1d"
@@ -154,6 +236,19 @@ class Engine:
         self.btb = BTB(config.btb_entries, config.btb_ways)
         self.ras = ReturnAddressStack(config.ras_size)
         self.ittage = ITTAGE() if config.indirect_predictor == "ittage" else None
+
+    def export_pool(self) -> ComponentPool:
+        """Capture this engine's components for adoption by the next run."""
+        return ComponentPool(
+            type(self),
+            self.config,
+            self.hierarchy,
+            self.l1i_prefetcher,
+            self.direction,
+            self.btb,
+            self.ras,
+            self.ittage,
+        )
 
     def _build_hierarchy(
         self, config: SimConfig, stats: SimStats

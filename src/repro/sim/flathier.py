@@ -22,7 +22,7 @@ prefetchers keep working unchanged against either hierarchy.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.sim.cache.cache import LINE_BITS, LINE_SIZE
 from repro.sim.cache.hierarchy import AccessResult
@@ -326,6 +326,94 @@ class FlatHierarchy:
         ready = now + self._lookup_latency(line)
         _fill(l1i, line, ready)
         _fill(self.l2, line, ready)
+
+    # ------------------------------------------------------------------
+    # run-compacted prefetch issue (batched component plans)
+    # ------------------------------------------------------------------
+
+    def prefetch_data_run(
+        self, requests: Sequence[Tuple[int, bool]], now: int
+    ) -> None:
+        """Issue a recorded run of ``(addr, fill_l1)`` data prefetches.
+
+        Behaviourally one :meth:`prefetch_data` call per request at the
+        same ``now``, with consecutive same-line same-target requests
+        elided: the duplicate would find the line just filled and
+        early-return without touching LRU state or counters, so the
+        elision is bit-identical.
+        """
+        counting = self.counting
+        l1d = self.l1d
+        l2 = self.l2
+        prev_line = -1
+        prev_fill = False
+        for addr, fill_l1 in requests:
+            line = addr & _LINE_MASK
+            if line == prev_line and fill_l1 == prev_fill:
+                continue
+            prev_line = line
+            prev_fill = fill_l1
+            target = l1d if fill_l1 else l2
+            set_state = target.sets.get((line >> LINE_BITS) % target.num_sets)
+            if set_state is not None and line in set_state:
+                continue
+            if counting:
+                if fill_l1:
+                    self.pf_l1d += 1
+                else:
+                    self.pf_l2 += 1
+            ready = now + self._lookup_latency(line)
+            _fill(l2, line, ready)
+            if fill_l1:
+                _fill(l1d, line, ready)
+
+    def prefetch_instruction_run(self, addrs: Sequence[int], now: int) -> None:
+        """Issue a recorded run of instruction prefetches at ``now``.
+
+        Behaviourally one :meth:`prefetch_instruction` call per address,
+        with consecutive same-line requests elided (the duplicate would
+        early-return on the present check with no state change).
+        """
+        counting = self.counting
+        l1i = self.l1i
+        l2 = self.l2
+        prev_line = -1
+        for addr in addrs:
+            line = addr & _LINE_MASK
+            if line == prev_line:
+                continue
+            prev_line = line
+            set_state = l1i.sets.get((line >> LINE_BITS) % l1i.num_sets)
+            if set_state is not None and line in set_state:
+                continue
+            if counting:
+                self.pf_l1i += 1
+            ready = now + self._lookup_latency(line)
+            _fill(l1i, line, ready)
+            _fill(l2, line, ready)
+
+    # ------------------------------------------------------------------
+    # component-pool support
+    # ------------------------------------------------------------------
+
+    def reset(self, stats: SimStats) -> None:
+        """Restore construction-time cache state against a fresh ``stats``.
+
+        Used by the component pool to reuse a hierarchy across runs:
+        after reset, behaviour is bit-identical to a newly constructed
+        :class:`FlatHierarchy` bound to ``stats``.
+        """
+        for level in (self.l1i, self.l1d, self.l2, self.llc):
+            level.sets.clear()
+            level.ready.clear()
+            level.clock = 0
+        self.stats = stats
+        self.counting = stats.enabled
+        self.acc_l1i = self.miss_l1i = 0
+        self.acc_l1d = self.miss_l1d = 0
+        self.acc_l2 = self.miss_l2 = 0
+        self.acc_llc = self.miss_llc = 0
+        self.pf_l1i = self.pf_l1d = self.pf_l2 = 0
 
     # ------------------------------------------------------------------
     # statistics

@@ -24,13 +24,33 @@ class PrefetchSink(Protocol):
 
 
 class DataPrefetcher(abc.ABC):
-    """Observes demand data accesses, issues prefetches into the hierarchy."""
+    """Observes demand data accesses, issues prefetches into the hierarchy.
+
+    ``stream_pure`` declares the *batched-model contract* (see
+    ``docs/vector_engine.md``): a stream-pure prefetcher's state
+    transitions and emitted prefetch addresses depend only on the
+    ``(ip, addr)`` access stream — it never reads ``hit`` and only
+    forwards ``now`` to the sink.  The vector engine may then resolve
+    its whole request plan ahead of the timing sweep; prefetchers that
+    read ``hit`` or ``now`` (timing-coupled) keep the scalar per-access
+    path.
+    """
+
+    #: True when :meth:`on_access` ignores ``hit``/``now`` (see above).
+    stream_pure = False
 
     @abc.abstractmethod
     def on_access(
         self, ip: int, addr: int, hit: bool, hierarchy: PrefetchSink, now: int
     ) -> None:
         """Called on every demand access at the level this prefetcher guards."""
+
+    def reset(self) -> None:
+        """Restore construction-time state (stateless default: no-op).
+
+        Stateful prefetchers must override so the component pool can
+        reuse them across runs bit-identically.
+        """
 
 
 class InstructionPrefetcher(abc.ABC):
@@ -41,7 +61,16 @@ class InstructionPrefetcher(abc.ABC):
     group ends in a branch — its deduced type and (post-resolution)
     target, which is the information the IPC-1 API exposed to contestants
     (they observed branches committed by ChampSim's front-end).
+
+    ``stream_pure`` follows the same contract as
+    :attr:`DataPrefetcher.stream_pure` over the fetch-event stream
+    ``(line_addr, branch_ip, branch_type, branch_target)``: a pure
+    instruction prefetcher never reads ``hit``, only forwards ``now``,
+    and only calls ``prefetch_instruction`` on the sink.
     """
+
+    #: True when :meth:`on_fetch` ignores ``hit``/``now`` (see above).
+    stream_pure = False
 
     @abc.abstractmethod
     def on_fetch(
@@ -55,3 +84,6 @@ class InstructionPrefetcher(abc.ABC):
         branch_target: Optional[int] = None,
     ) -> None:
         """Called once per demand-fetched cacheline."""
+
+    def reset(self) -> None:
+        """Restore construction-time state (stateless default: no-op)."""

@@ -13,13 +13,23 @@ from repro.sim.prefetch.base import DataPrefetcher, PrefetchSink
 
 
 class IpStridePrefetcher(DataPrefetcher):
-    """Classic per-IP stride detection with confidence."""
+    """Classic per-IP stride detection with confidence.
+
+    Stream-pure: the table and the emitted prefetches depend only on
+    the (ip, addr) stream — ``hit`` is never read and ``now`` is only
+    forwarded — so the vector engine may plan its requests in batch.
+    """
+
+    stream_pure = True
 
     def __init__(self, table_size: int = 1024, degree: int = 3, fill_l1: bool = True) -> None:
         self._table: OrderedDict = OrderedDict()
         self._table_size = table_size
         self._degree = degree
         self._fill_l1 = fill_l1
+
+    def reset(self) -> None:
+        self._table.clear()
 
     def on_access(self, ip: int, addr: int, hit: bool, hierarchy: PrefetchSink, now: int) -> None:
         entry = self._table.get(ip)

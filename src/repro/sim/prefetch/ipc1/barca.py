@@ -21,13 +21,22 @@ REGION_BYTES = REGION_LINES * LINE_SIZE
 
 
 class Barca(InstructionPrefetcher):
-    """Region footprint record/replay with neighbour search."""
+    """Region footprint record/replay with neighbour search.
+
+    Branch-agnostic by design and miss-agnostic in implementation:
+    stream-pure over the fetch-event stream.
+    """
+
+    stream_pure = True
 
     def __init__(self, table_size: int = 2048, search_neighbours: int = 1) -> None:
         #: region base -> bitmap of touched lines
         self._regions: OrderedDict = OrderedDict()
         self._table_size = table_size
         self._search = search_neighbours
+
+    def reset(self) -> None:
+        self._regions.clear()
 
     def _touch(self, line_addr: int) -> None:
         region = line_addr - (line_addr % REGION_BYTES)

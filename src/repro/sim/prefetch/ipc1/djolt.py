@@ -17,7 +17,13 @@ from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class DJolt(InstructionPrefetcher):
-    """Multi-distance signature→line tables trained by pending learners."""
+    """Multi-distance signature→line tables trained by pending learners.
+
+    Trains on discontinuities and fetch order only — never on
+    hit/miss or cycle time — so it is stream-pure.
+    """
+
+    stream_pure = True
 
     def __init__(
         self,
@@ -35,6 +41,12 @@ class DJolt(InstructionPrefetcher):
         #: D-JOLT ships with a short-range sequential prefetcher next to
         #: the distant tables.
         self._sequential_degree = 3
+
+    def reset(self) -> None:
+        for table in self._tables:
+            table.clear()
+        self._signature = 0
+        self._pending.clear()
 
     def _record(self, table_idx: int, signature: int, line: int) -> None:
         table = self._tables[table_idx]

@@ -19,7 +19,12 @@ from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class JIP(InstructionPrefetcher):
-    """Jump-site target + run-length replay ("jumpers")."""
+    """Jump-site target + run-length replay ("jumpers").
+
+    Trains on fetch order and branch context only: stream-pure.
+    """
+
+    stream_pure = True
 
     def __init__(self, table_size: int = 4096, max_run: int = 12) -> None:
         #: branch ip -> [target line, run length in lines]
@@ -30,6 +35,12 @@ class JIP(InstructionPrefetcher):
         self._training_ip: Optional[int] = None
         self._run_lines = 0
         self._last_line: Optional[int] = None
+
+    def reset(self) -> None:
+        self._jumpers.clear()
+        self._training_ip = None
+        self._run_lines = 0
+        self._last_line = None
 
     def _install(self, ip: int, target_line: int) -> None:
         entry = self._jumpers.get(ip)

@@ -19,7 +19,12 @@ WINDOW = 8
 
 
 class MANA(InstructionPrefetcher):
-    """Spatial footprint record/replay with trigger chaining."""
+    """Spatial footprint record/replay with trigger chaining.
+
+    Records fetch-order footprints only: stream-pure.
+    """
+
+    stream_pure = True
 
     def __init__(self, table_size: int = 2048, chain_depth: int = 2) -> None:
         #: trigger line -> [footprint bitmap, next trigger line or None]
@@ -28,6 +33,11 @@ class MANA(InstructionPrefetcher):
         self._chain_depth = chain_depth
         self._current_trigger: Optional[int] = None
         self._prev_trigger: Optional[int] = None
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._current_trigger = None
+        self._prev_trigger = None
 
     def _entry(self, trigger: int) -> list:
         entry = self._table.get(trigger)

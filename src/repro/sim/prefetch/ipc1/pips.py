@@ -16,7 +16,12 @@ from repro.sim.prefetch.base import InstructionPrefetcher, PrefetchSink
 
 
 class PIPS(InstructionPrefetcher):
-    """Probabilistic successor-graph scouting."""
+    """Probabilistic successor-graph scouting.
+
+    Learns the successor graph from fetch order only: stream-pure.
+    """
+
+    stream_pure = True
 
     def __init__(
         self,
@@ -30,6 +35,10 @@ class PIPS(InstructionPrefetcher):
         self._successors = successors_per_line
         self._depth = scout_depth
         self._last_line: Optional[int] = None
+
+    def reset(self) -> None:
+        self._graph.clear()
+        self._last_line = None
 
     def _learn(self, src: int, dst: int) -> None:
         entry = self._graph.get(src)

@@ -7,7 +7,13 @@ from repro.sim.prefetch.base import DataPrefetcher, PrefetchSink
 
 
 class NextLinePrefetcher(DataPrefetcher):
-    """Prefetch the following ``degree`` lines on every observed access."""
+    """Prefetch the following ``degree`` lines on every observed access.
+
+    Stateless, therefore trivially stream-pure (inherits the no-op
+    ``reset``).
+    """
+
+    stream_pure = True
 
     def __init__(self, degree: int = 1, fill_l1: bool = False) -> None:
         self._degree = degree

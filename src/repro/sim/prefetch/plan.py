@@ -1,0 +1,127 @@
+"""Batched prefetch planning for stream-pure prefetchers.
+
+A :class:`~repro.sim.prefetch.base.DataPrefetcher` or
+:class:`~repro.sim.prefetch.base.InstructionPrefetcher` that declares
+``stream_pure = True`` evolves its state and emits its requests as a
+function of the access/fetch-event stream alone — never of hit/miss
+outcomes or cycle time.  That lets the vector engine replay the whole
+stream through the prefetcher *once, ahead of the timing sweep*, record
+the requests each event would emit, and then merely issue the recorded
+requests at the right cycles during the sweep.  The prefetcher object
+ends the planning pass in exactly the state the scalar engine would
+have left it in, and the issued requests are identical address-for-
+address and order-for-order — the bit-identity contract the diff
+harness enforces.
+
+The ``now`` each request is *issued* with comes from the sweep, not
+from planning (planning passes ``now=0``, which pure prefetchers only
+forward).  ``hit`` is passed as ``False``; pure prefetchers never read
+it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.champsim.branch_info import BranchType
+from repro.sim.prefetch.base import DataPrefetcher, InstructionPrefetcher
+
+#: One planned data request: (address, fill_l1).
+DataRequest = Tuple[int, bool]
+
+#: Per-event request lists; ``None`` marks an event that emitted nothing,
+#: so the sweep can skip the issue call entirely.
+DataPlan = List[Optional[List[DataRequest]]]
+FetchPlan = List[Optional[List[int]]]
+
+#: One fetch event: (line_addr, branch_ip, branch_type, branch_target).
+FetchEvent = Tuple[int, Optional[int], BranchType, Optional[int]]
+
+
+class _RequestRecorder:
+    """A :class:`PrefetchSink` that records instead of issuing.
+
+    Satisfies the sink protocol structurally; ``now`` is discarded
+    because stream-pure prefetchers only ever forward it.
+    """
+
+    __slots__ = ("data", "instruction")
+
+    def __init__(self) -> None:
+        self.data: List[DataRequest] = []
+        self.instruction: List[int] = []
+
+    def prefetch_data(self, addr: int, now: int, fill_l1: bool = False) -> None:
+        self.data.append((addr, fill_l1))
+
+    def prefetch_instruction(self, addr: int, now: int) -> None:
+        self.instruction.append(addr)
+
+
+def plan_data_stream(
+    prefetcher: DataPrefetcher,
+    ips: Sequence[int],
+    addrs: Sequence[int],
+) -> DataPlan:
+    """Replay an (ip, addr) access stream, returning per-event requests.
+
+    ``ips``/``addrs`` are parallel, one entry per demand access in
+    program order (an instruction with several addresses contributes
+    several consecutive events).  The prefetcher is mutated exactly as
+    a scalar replay would mutate it.
+    """
+    if not prefetcher.stream_pure:
+        raise ValueError(
+            f"{type(prefetcher).__name__} is not stream-pure; "
+            "its requests cannot be planned ahead of the sweep"
+        )
+    recorder = _RequestRecorder()
+    on_access = prefetcher.on_access
+    requests = recorder.data
+    plan: DataPlan = []
+    append = plan.append
+    for ip, addr in zip(ips, addrs):
+        on_access(ip, addr, False, recorder, 0)
+        if requests:
+            append(requests[:])
+            del requests[:]
+        else:
+            append(None)
+    return plan
+
+
+def plan_fetch_stream(
+    prefetcher: InstructionPrefetcher,
+    events: Sequence[FetchEvent],
+) -> FetchPlan:
+    """Replay a fetch-event stream, returning per-event request lists.
+
+    One event per demand-fetched cacheline, in fetch order, carrying the
+    branch context the engine would have attached.
+    """
+    if not prefetcher.stream_pure:
+        raise ValueError(
+            f"{type(prefetcher).__name__} is not stream-pure; "
+            "its requests cannot be planned ahead of the sweep"
+        )
+    recorder = _RequestRecorder()
+    on_fetch = prefetcher.on_fetch
+    requests = recorder.instruction
+    plan: FetchPlan = []
+    append = plan.append
+    for line_addr, branch_ip, branch_type, branch_target in events:
+        on_fetch(
+            line_addr,
+            False,
+            recorder,
+            0,
+            branch_ip=branch_ip,
+            branch_type=branch_type,
+            branch_target=branch_target,
+        )
+        if requests:
+            append(requests[:])
+            del requests[:]
+        else:
+            append(None)
+    return plan

@@ -28,7 +28,7 @@ from repro.sim.decoded import (
     columnarize,
     decode_trace,
 )
-from repro.sim.engine import Engine
+from repro.sim.engine import ComponentPool, Engine
 from repro.sim.stats import SimStats
 
 TraceLike = Union[str, Path, Sequence[ChampSimInstr], Sequence[DecodedInstr]]
@@ -43,19 +43,35 @@ def make_engine(
     config: SimConfig,
     decode_cache: "Optional[DecodeCache]" = None,
     engine: Optional[str] = None,
+    component_pool: "Optional[ComponentPool]" = None,
+    batch_components: bool = True,
 ) -> Engine:
     """Build the engine implementation selected by ``engine``.
 
     ``engine=None`` defers to ``config.engine``; unknown names raise
-    ``ValueError`` listing the known implementations.
+    ``ValueError`` listing the known implementations.  ``component_pool``
+    recycles a previous engine's components when type and config match
+    (see :class:`~repro.sim.engine.ComponentPool`); ``batch_components``
+    forces the scalar per-call component path when ``False`` (the
+    vector engine's batched component plans are on by default).
     """
     name = config.engine if engine is None else engine
     if name == "scalar":
-        return Engine(config, decode_cache=decode_cache)
+        return Engine(
+            config,
+            decode_cache=decode_cache,
+            component_pool=component_pool,
+            batch_components=batch_components,
+        )
     if name == "vector":
         from repro.sim.vector_engine import VectorEngine
 
-        return VectorEngine(config, decode_cache=decode_cache)
+        return VectorEngine(
+            config,
+            decode_cache=decode_cache,
+            component_pool=component_pool,
+            batch_components=batch_components,
+        )
     raise ValueError(
         f"unknown engine {name!r}; known: {list(ENGINE_NAMES)}"
     )
@@ -96,8 +112,10 @@ class Simulator:
         config: SimConfig,
         decode_cache: "Union[Optional[DecodeCache], str]" = "fresh",
         engine: Optional[str] = None,
+        batch_components: bool = True,
     ) -> None:
         self.config = config
+        self.batch_components = batch_components
         if decode_cache == "fresh":
             decode_cache = DecodeCache()
         elif decode_cache is not None and not isinstance(decode_cache, DecodeCache):
@@ -114,6 +132,11 @@ class Simulator:
         self._columns_memo: Optional[
             Tuple[TraceLike, BranchRules, DecodedColumns]
         ] = None
+        #: Components captured from the last finished vector engine; the
+        #: next run adopts (and resets) them instead of reconstructing.
+        #: The scalar path stays cold-construction so reference timings
+        #: keep their meaning.
+        self._component_pool: Optional[ComponentPool] = None
 
     def run(
         self,
@@ -124,7 +147,9 @@ class Simulator:
         from repro import obs
 
         engine = make_engine(self.config, decode_cache=self.decode_cache,
-                             engine=self.engine)
+                             engine=self.engine,
+                             component_pool=self._component_pool,
+                             batch_components=self.batch_components)
         payload: Union[List[DecodedInstr], DecodedColumns]
         if self.engine == "vector":
             columns = self._columns_memo_lookup(trace, rules)
@@ -140,7 +165,10 @@ class Simulator:
             # The vector engine's run() accepts DecodedColumns on top of
             # the base Engine signature; self.engine gates which form is
             # built, so the pairing is always valid.
-            return engine.run(payload)  # type: ignore[arg-type]
+            stats = engine.run(payload)  # type: ignore[arg-type]
+        if self.engine == "vector":
+            self._component_pool = engine.export_pool()
+        return stats
 
     def _decode(self, trace: TraceLike, rules: BranchRules) -> List[DecodedInstr]:
         from repro import obs

@@ -52,6 +52,7 @@ from repro.sim.decoded import (
     columnarize,
     decode_trace,
 )
+from repro.sim.branch.batch import BranchTallies, resolve_branch_plan
 from repro.sim.engine import (
     Engine,
     _TimedCalls,
@@ -60,6 +61,12 @@ from repro.sim.engine import (
 )
 from repro.sim.config import SimConfig
 from repro.sim.flathier import SRC_L1, FlatHierarchy
+from repro.sim.prefetch.plan import (
+    DataPlan,
+    FetchPlan,
+    plan_data_stream,
+    plan_fetch_stream,
+)
 from repro.sim.stats import SimStats
 
 _BT_NOT_BRANCH = BranchType.NOT_BRANCH
@@ -183,6 +190,17 @@ class VectorEngine(Engine):
         self._prf_free = config.prf_size
         self._prf_pending: deque = deque()
 
+        # ------------------------------------------- component batch plans
+        self._branch_codes: Optional[list] = None
+        self._plan_tallies: Optional[BranchTallies] = None
+        self._dplan: Optional[DataPlan] = None
+        self._iplan: Optional[FetchPlan] = None
+        self._bplan_cursor = 0
+        self._dplan_cursor = 0
+        self._iplan_cursor = 0
+        if self._batch_components and not obs_enabled and n:
+            self._resolve_plans(columns, warmup)
+
         warmup_base_cycle = 0
         if warmup:
             self._sweep(0, min(warmup, n), counting=False)
@@ -201,6 +219,65 @@ class VectorEngine(Engine):
         if component_time is not None:
             emit_engine_obs(component_time, n, stats.cycles)
         return stats
+
+    # ------------------------------------------------------------------
+
+    def _resolve_plans(self, columns: DecodedColumns, warmup: int) -> None:
+        """Resolve (or fetch memoized) component plans for this run.
+
+        Batched component models (see ``docs/vector_engine.md``) replay
+        each component over its event stream *once, ahead of the timing
+        sweep*: branches through
+        :func:`~repro.sim.branch.batch.resolve_branch_plan`, stream-pure
+        prefetchers through the request planners in
+        :mod:`repro.sim.prefetch.plan`.  The sweep then consumes
+        precomputed redirect codes and request runs instead of calling
+        the components per event — bit-identical by the batched-model
+        contract, and memoizable on the columns because the event
+        streams are a pure function of the (immutable) columns and the
+        component configuration.
+
+        On a plan-cache hit the components are never touched: the run
+        needs only the plan.  On a miss, the planning pass leaves each
+        component in exactly the state a scalar run would have.
+        """
+        cfg_branch_key, dpf_key, ipf_key = columns.plan_keys(self.config)
+        plan_cache = columns.plan_cache
+        bplan = plan_cache.get(cfg_branch_key)
+        if bplan is None:
+            idxs, ips, types, takens, targets = columns.branch_view()
+            bplan = resolve_branch_plan(
+                idxs,
+                ips,
+                types,
+                takens,
+                targets,
+                self.direction,
+                self.btb,
+                self.ras,
+                self.ittage,
+                self.config.ideal_targets,
+                warmup,
+            )
+            plan_cache[cfg_branch_key] = bplan
+        self._branch_codes, self._plan_tallies = bplan
+
+        l1d_pf = self.hierarchy.l1d_prefetcher
+        if l1d_pf is not None and l1d_pf.stream_pure:
+            dplan = plan_cache.get(dpf_key)
+            if dplan is None:
+                ev_ips, ev_addrs = columns.access_events()
+                dplan = plan_data_stream(l1d_pf, ev_ips, ev_addrs)
+                plan_cache[dpf_key] = dplan
+            self._dplan = dplan
+
+        l1i_pf = self.l1i_prefetcher
+        if l1i_pf is not None and l1i_pf.stream_pure:
+            iplan = plan_cache.get(ipf_key)
+            if iplan is None:
+                iplan = plan_fetch_stream(l1i_pf, columns.fetch_events())
+                plan_cache[ipf_key] = iplan
+            self._iplan = iplan
 
     # ------------------------------------------------------------------
 
@@ -249,6 +326,18 @@ class VectorEngine(Engine):
         l2_pf = flat.l2_prefetcher
         l2_pf_hook = l2_pf.on_access if l2_pf is not None else None
 
+        # Batched component plans (resolved by :meth:`_resolve_plans`;
+        # all ``None`` on the scalar component path).  Cursors persist
+        # across the warm-up and counting sweep phases via ``self``.
+        bcodes = self._branch_codes
+        dplan = self._dplan
+        iplan = self._iplan
+        bj = self._bplan_cursor
+        aj = self._dplan_cursor
+        fj = self._iplan_cursor
+        prefetch_data_run = flat.prefetch_data_run
+        prefetch_instruction_run = flat.prefetch_instruction_run
+
         direction = self._direction
         direction_predict = direction.predict
         direction_update = direction.update
@@ -261,6 +350,10 @@ class VectorEngine(Engine):
             ittage_predict = ittage.predict
             ittage_update = ittage.update
         l1i_pf = self._l1i_pf
+        # With the fetch plan active the branch context embedded in it
+        # already covers the prefetcher; otherwise a live instruction
+        # prefetcher still needs the sweep to track it.
+        track_ctx = l1i_pf is not None and iplan is None
 
         fetch_width = config.fetch_width
         dispatch_width = config.dispatch_width
@@ -381,7 +474,12 @@ class VectorEngine(Engine):
                     extra = latency - l1i_hit
                     if extra > 0:
                         fetch_cycle += extra
-                    if l1i_pf is not None:
+                    if iplan is not None:
+                        reqs = iplan[fj]
+                        fj += 1
+                        if reqs is not None:
+                            prefetch_instruction_run(reqs, fetch_cycle)
+                    elif l1i_pf is not None:
                         l1i_pf.on_fetch(
                             line,
                             source == 0,
@@ -525,7 +623,12 @@ class VectorEngine(Engine):
                                     src = 0
                             else:
                                 lat, src = demand_fast(l1d, aline, issue)
-                            if l1d_pf_hook is not None:
+                            if dplan is not None:
+                                reqs = dplan[aj]
+                                aj += 1
+                                if reqs is not None:
+                                    prefetch_data_run(reqs, issue)
+                            elif l1d_pf_hook is not None:
                                 l1d_pf_hook(ip, addr, src == 0, flat, issue)
                             if l2_pf_hook is not None and src != 0:
                                 l2_pf_hook(ip, addr, src == 2, flat, issue)
@@ -540,88 +643,107 @@ class VectorEngine(Engine):
                     complete = issue + branch_latency
 
                 if kind & 4:
-                    branch_type = branch_types[index]
-                    taken = branch_takens[index]
-                    actual_target = targets[index]
-
-                    if branch_type is bt_cond:
-                        pred_taken = direction_predict(ip)
-                        direction_update(ip, taken)
-                        direction_wrong = pred_taken != taken
-                    else:
-                        pred_taken = True
-                        direction_wrong = False
-
-                    target_wrong = False
-                    btb_hit = True
-                    if ideal_targets:
-                        pass  # perfect targets: only direction redirects
-                    else:
-                        entry = btb_lookup(ip)
-                        btb_hit = entry is not None
-                        if branch_type is bt_return:
-                            pred_target = ras_pop()
-                        elif (
-                            branch_type is bt_indirect
-                            or branch_type is bt_indirect_call
-                        ):
-                            pred_target = None
-                            if ittage is not None:
-                                pred_target = ittage_predict(ip)
-                            if pred_target is None and entry is not None:
-                                pred_target = entry[0]
-                        else:
-                            pred_target = (
-                                entry[0] if entry is not None else None
+                    if bcodes is not None:
+                        # Batched branch plan: redirect decision and
+                        # tallies precomputed by resolve_branch_plan.
+                        code = bcodes[bj]
+                        bj += 1
+                        if code == 1:
+                            redirect_at = complete + restart
+                        elif code:
+                            # Decode-time re-steer (BTB miss, taken).
+                            redirect_at = fetch_time + btb_miss_penalty
+                        if track_ctx:
+                            last_branch_ip = ip
+                            last_branch_type = branch_types[index]
+                            last_branch_target = (
+                                targets[index]
+                                if branch_takens[index]
+                                else None
                             )
-                        if (
-                            branch_type is bt_direct_call
-                            or branch_type is bt_indirect_call
-                        ):
-                            ras_push(ip + 4)
-                        if taken:
-                            btb_install(ip, actual_target, branch_type)
-                            if ittage is not None and (
+                    else:
+                        branch_type = branch_types[index]
+                        taken = branch_takens[index]
+                        actual_target = targets[index]
+
+                        if branch_type is bt_cond:
+                            pred_taken = direction_predict(ip)
+                            direction_update(ip, taken)
+                            direction_wrong = pred_taken != taken
+                        else:
+                            pred_taken = True
+                            direction_wrong = False
+
+                        target_wrong = False
+                        btb_hit = True
+                        if ideal_targets:
+                            pass  # perfect targets: only direction redirects
+                        else:
+                            entry = btb_lookup(ip)
+                            btb_hit = entry is not None
+                            if branch_type is bt_return:
+                                pred_target = ras_pop()
+                            elif (
                                 branch_type is bt_indirect
                                 or branch_type is bt_indirect_call
                             ):
-                                ittage_update(ip, actual_target)
-                            if pred_taken:
-                                target_wrong = (
-                                    pred_target is None
-                                    or pred_target != actual_target
+                                pred_target = None
+                                if ittage is not None:
+                                    pred_target = ittage_predict(ip)
+                                if pred_target is None and entry is not None:
+                                    pred_target = entry[0]
+                            else:
+                                pred_target = (
+                                    entry[0] if entry is not None else None
                                 )
+                            if (
+                                branch_type is bt_direct_call
+                                or branch_type is bt_indirect_call
+                            ):
+                                ras_push(ip + 4)
+                            if taken:
+                                btb_install(ip, actual_target, branch_type)
+                                if ittage is not None and (
+                                    branch_type is bt_indirect
+                                    or branch_type is bt_indirect_call
+                                ):
+                                    ittage_update(ip, actual_target)
+                                if pred_taken:
+                                    target_wrong = (
+                                        pred_target is None
+                                        or pred_target != actual_target
+                                    )
 
-                    if counting:
-                        b_branches += 1
-                        by_type[branch_type] = (
-                            by_type.get(branch_type, 0) + 1
-                        )
-                        if taken:
-                            b_taken += 1
-                        if direction_wrong:
-                            b_direction += 1
-                        if target_wrong:
-                            b_target += 1
-                            tgt_by_type[branch_type] = (
-                                tgt_by_type.get(branch_type, 0) + 1
+                        if counting:
+                            b_branches += 1
+                            by_type[branch_type] = (
+                                by_type.get(branch_type, 0) + 1
                             )
+                            if taken:
+                                b_taken += 1
+                            if direction_wrong:
+                                b_direction += 1
+                            if target_wrong:
+                                b_target += 1
+                                tgt_by_type[branch_type] = (
+                                    tgt_by_type.get(branch_type, 0) + 1
+                                )
+                            if direction_wrong or target_wrong:
+                                b_mispredicted += 1
+
                         if direction_wrong or target_wrong:
-                            b_mispredicted += 1
+                            redirect_at = complete + restart
+                        elif taken and not ideal_targets and not btb_hit:
+                            # Decode-time re-steer: target computable, but the
+                            # front-end had no BTB entry to follow at fetch.
+                            redirect_at = fetch_time + btb_miss_penalty
 
-                    if direction_wrong or target_wrong:
-                        redirect_at = complete + restart
-                    elif taken and not ideal_targets and not btb_hit:
-                        # Decode-time re-steer: target computable, but the
-                        # front-end had no BTB entry to follow at fetch.
-                        redirect_at = fetch_time + btb_miss_penalty
-
-                    if l1i_pf is not None:
-                        last_branch_ip = ip
-                        last_branch_type = branch_type
-                        last_branch_target = (
-                            actual_target if taken else None
-                        )
+                        if l1i_pf is not None:
+                            last_branch_ip = ip
+                            last_branch_type = branch_type
+                            last_branch_target = (
+                                actual_target if taken else None
+                            )
 
             for reg in dsts:
                 reg_ready[reg] = complete
@@ -663,6 +785,9 @@ class VectorEngine(Engine):
         self._rob_count = rob_count
         self._issue_load = issue_load
         self._prf_free = prf_free
+        self._bplan_cursor = bj
+        self._dplan_cursor = aj
+        self._iplan_cursor = fj
 
         if acc_l1i:
             flat.acc_l1i += acc_l1i
@@ -670,6 +795,31 @@ class VectorEngine(Engine):
         if acc_l1d:
             flat.acc_l1d += acc_l1d
             flat.miss_l1d += miss_l1d
+        if counting and self._plan_tallies is not None:
+            # Fold the branch plan's precomputed (already warm-up-gated)
+            # tallies into the sweep-local counters exactly once, so the
+            # single SimStats fold below covers both component paths.
+            (
+                t_branches,
+                t_taken,
+                t_direction,
+                t_target,
+                t_mispredicted,
+                t_by_type,
+                t_tgt_by_type,
+            ) = self._plan_tallies
+            self._plan_tallies = None
+            b_branches += t_branches
+            b_taken += t_taken
+            b_direction += t_direction
+            b_target += t_target
+            b_mispredicted += t_mispredicted
+            for branch_type, count in t_by_type.items():
+                by_type[branch_type] = by_type.get(branch_type, 0) + count
+            for branch_type, count in t_tgt_by_type.items():
+                tgt_by_type[branch_type] = (
+                    tgt_by_type.get(branch_type, 0) + count
+                )
         if counting and b_branches:
             stats = self.stats
             stats.branches += b_branches

@@ -1,0 +1,22 @@
+"""Negative control cache walk: the batched twin drops a counter (RC404).
+
+``prefetch_data_run`` resolves (greedy stem partition) to its scalar
+counterpart ``prefetch_data``, which bumps both ``pf_l2`` and
+``pf_l1d``; the run-compacted twin only ever bumps ``pf_l2``.
+"""
+
+
+class FlatHierarchy:
+    def __init__(self):
+        self.pf_l1d = 0
+        self.pf_l2 = 0
+
+    def prefetch_data(self, addr, fill_l1):
+        self.pf_l2 += 1
+        if fill_l1:
+            self.pf_l1d += 1
+
+    def prefetch_data_run(self, requests):
+        # The batched twin never bumps pf_l1d -> RC404.
+        for _addr, _fill_l1 in requests:
+            self.pf_l2 += 1

@@ -68,7 +68,7 @@ def test_json_format(tmp_path, capsys):
         for report in payload["reports"]
         for finding in report["findings"]
     }
-    assert fired == {"RC401", "RC402", "RC403"}
+    assert fired == {"RC401", "RC402", "RC403", "RC404"}
 
 
 def test_write_then_apply_baseline(tmp_path, capsys):

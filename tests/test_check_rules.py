@@ -418,6 +418,101 @@ def test_rc403_to_dict_missing_counter():
     assert "cycles" in found[0].message
 
 
+_WALK_OK = (
+    "class FlatHierarchy:\n"
+    "    def prefetch_data(self, addr, fill_l1):\n"
+    "        self.pf_l2 += 1\n"
+    "        if fill_l1:\n"
+    "            self.pf_l1d += 1\n\n"
+    "    def prefetch_data_run(self, requests, now):\n"
+    "        for addr, fill_l1 in requests:\n"
+    "            self.pf_l2 += 1\n"
+    "            if fill_l1:\n"
+    "                self.pf_l1d += 1\n"
+)
+
+
+def test_rc404_matching_twin_clean():
+    assert fired({"sim/walk.py": _WALK_OK}, ["RC404"]) == set()
+
+
+def test_rc404_twin_dropping_counter():
+    twin = _WALK_OK.replace(
+        "            if fill_l1:\n"
+        "                self.pf_l1d += 1\n",
+        "",
+    )
+    found = findings({"sim/walk.py": twin}, ["RC404"])
+    assert [f.rule_id for f in found] == ["RC404"]
+    assert "pf_l1d" in found[0].message
+    assert "prefetch_data_run" in found[0].message
+
+
+def test_rc404_delegating_twin_clean():
+    """A twin that calls its scalar counterpart inherits its updates."""
+    src = (
+        "class FlatHierarchy:\n"
+        "    def prefetch_data(self, addr, fill_l1):\n"
+        "        self.pf_l2 += 1\n"
+        "        if fill_l1:\n"
+        "            self.pf_l1d += 1\n\n"
+        "    def prefetch_data_run(self, requests, now):\n"
+        "        for addr, fill_l1 in requests:\n"
+        "            self.prefetch_data(addr, fill_l1)\n"
+    )
+    assert fired({"sim/walk.py": src}, ["RC404"]) == set()
+
+
+def test_rc404_multi_counterpart_stem():
+    """predict_update_batch resolves to predict + update; the twin must
+    cover the union of both counterparts' counters."""
+    src = (
+        "class Predictor:\n"
+        "    def predict(self, ip):\n"
+        "        self.predictions += 1\n\n"
+        "    def update(self, ip, taken):\n"
+        "        self.updates += 1\n\n"
+        "    def predict_update_batch(self, ips, takens):\n"
+        "        self.predictions += len(ips)\n"
+    )
+    found = findings({"sim/pred.py": src}, ["RC404"])
+    assert [f.rule_id for f in found] == ["RC404"]
+    assert "updates" in found[0].message
+    fixed = src + "        self.updates += len(ips)\n"
+    assert fired({"sim/pred.py": fixed}, ["RC404"]) == set()
+
+
+def test_rc404_recorder_call_parity():
+    """A recorder call made by the scalar counterpart counts as a
+    counter the twin must also make."""
+    src = (
+        "class Walker:\n"
+        "    def lookup(self, ip):\n"
+        "        self.hits += 1\n"
+        "        self.stats.count_instruction()\n\n"
+        "    def lookup_batch(self, ips):\n"
+        "        self.hits += len(ips)\n"
+    )
+    found = findings(
+        {"stats.py": _STATS_OK, "sim/walker.py": src}, ["RC404"]
+    )
+    assert [f.rule_id for f in found] == ["RC404"]
+    assert "count_instruction" in found[0].message
+
+
+def test_rc404_unresolvable_stem_skipped():
+    """A *_run method whose stem is not built from sibling names is not
+    a batched twin."""
+    src = (
+        "class Job:\n"
+        "    def execute(self):\n"
+        "        self.launches += 1\n\n"
+        "    def dry_run(self):\n"
+        "        return None\n"
+    )
+    assert fired({"sim/job.py": src}, ["RC404"]) == set()
+
+
 def test_rc4xx_inherited_init_reads_are_shared():
     """Config reads in non-overridden methods belong to both engines."""
     engine = (
@@ -572,7 +667,7 @@ def test_fixture_rc3xx_fires_every_worker_rule():
 
 
 def test_fixture_rc4xx_fires_every_parity_rule():
-    assert check_fixture("rc4xx") == {"RC401", "RC402", "RC403"}
+    assert check_fixture("rc4xx") == {"RC401", "RC402", "RC403", "RC404"}
 
 
 def test_fixture_rc5xx_fires_every_robustness_rule():

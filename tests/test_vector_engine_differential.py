@@ -281,6 +281,91 @@ def test_vector_matches_scalar_on_arbitrary_streams(decoded, config_index):
     assert_stats_identical(vector, scalar, (config.name, len(decoded)))
 
 
+# --------------------------------------------------------------------------
+# Predictor-aliasing stress (dense same-set branch PCs, history ramps)
+
+#: Configurations whose predictors the aliasing streams attack: TAGE
+#: (main), the SC/loop correction layers (tage-sc-l), and the contest
+#: config's ITTAGE indirect predictor.
+_ALIASING_CONFIGS = [
+    SimConfig.main(),
+    SimConfig.main(direction_predictor="tage-sc-l"),
+    SimConfig.ipc1(),
+]
+
+
+@st.composite
+def aliasing_streams(draw):
+    """Branch streams built to alias inside the predictor tables.
+
+    A small pool of branch PCs congruent modulo a power-of-two stride
+    lands every branch in the same bimodal/gshare row and forces TAGE
+    tag collisions; each PC's taken pattern is periodic with a period
+    that *ramps* as the branch re-executes, walking the useful history
+    length through TAGE's geometric series the way the Firestorm/Oryon
+    dissections probe real predictors.  Indirect branches cycle targets
+    through the pool to alias ITTAGE the same way.
+    """
+    pool_size = draw(st.integers(min_value=2, max_value=6))
+    base = draw(st.integers(min_value=64, max_value=(1 << 20) - 1)) & ~3
+    stride = 4 << draw(st.integers(min_value=10, max_value=14))
+    pcs = [base + k * stride for k in range(pool_size)]
+    periods = [draw(st.integers(min_value=1, max_value=32)) for _ in pcs]
+    indirect = [draw(st.booleans()) for _ in pcs]
+    n = draw(st.integers(min_value=1, max_value=120))
+    counts = [0] * pool_size
+    stream = []
+    for _ in range(n):
+        which = draw(st.integers(min_value=0, max_value=pool_size - 1))
+        counts[which] += 1
+        period = periods[which] + counts[which] // 8  # history-length ramp
+        taken = (counts[which] // period) % 2 == 0
+        if indirect[which]:
+            branch_type = BranchType.INDIRECT
+            taken = True
+            target = pcs[(which + counts[which]) % pool_size]
+        else:
+            branch_type = BranchType.CONDITIONAL
+            target = pcs[(which + 1) % pool_size] if taken else 0
+        stream.append(
+            DecodedInstr(
+                ip=pcs[which],
+                branch_type=branch_type,
+                branch_taken=taken,
+                target=target,
+                src_regs=(),
+                dst_regs=(),
+                src_mem=(),
+                dst_mem=(),
+            )
+        )
+        if draw(st.booleans()):  # straight-line filler between branches
+            stream.append(
+                DecodedInstr(
+                    ip=pcs[which] + 4,
+                    branch_type=BranchType.NOT_BRANCH,
+                    branch_taken=False,
+                    target=0,
+                    src_regs=(),
+                    dst_regs=(),
+                    src_mem=(),
+                    dst_mem=(),
+                )
+            )
+    return stream
+
+
+@given(
+    decoded=aliasing_streams(),
+    config_index=st.integers(0, len(_ALIASING_CONFIGS) - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_vector_matches_scalar_on_aliasing_stress(decoded, config_index):
+    config = _ALIASING_CONFIGS[config_index]
+    scalar, vector = _run_both(config, decoded)
+    assert_stats_identical(vector, scalar, (config.name, len(decoded)))
+
+
 @given(decoded=decoded_streams())
 @settings(max_examples=25, deadline=None)
 def test_vector_matches_scalar_under_patched_rules_raw_input(decoded):
