@@ -24,15 +24,9 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import LintReport
 from repro.champsim.branch_info import BranchRules
 from repro.core.improvements import Improvement
-from repro import faults
-from repro.experiments.cache import (
-    _atomic_write_json,
-    default_cache_dir,
-    file_digest,
-    payload_digest,
-    quarantine_entry,
-)
+from repro.experiments.cache import default_cache_dir
 from repro.obs.instruments import CacheCounters, InstrumentedCache
+from repro.service.store import BlobKind, BlobStore, describe_counters, file_digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.analysis.engine import TraceLinter
@@ -92,80 +86,51 @@ def report_from_dict(payload: dict, from_cache: bool = False) -> LintReport:
     )
 
 
+def _cached_report_from_dict(payload: dict) -> LintReport:
+    """Blob-store decode hook: cached loads are marked ``from_cache``."""
+    return report_from_dict(payload, from_cache=True)
+
+
+#: The lint-report blob family (layout and envelope unchanged from the
+#: pre-store cache, so existing entries stay readable both ways).
+LINT_KIND = BlobKind(name="lint", schema=LINT_SCHEMA, body_field="report")
+
+
 class LintCache(InstrumentedCache):
-    """On-disk store of lint reports, keyed by :func:`lint_key`."""
+    """On-disk store of lint reports, keyed by :func:`lint_key`.
+
+    A thin view over the service blob store
+    (:class:`repro.service.store.BlobStore`) with the same integrity
+    contract as the result cache: absent or schema-mismatched entries
+    are plain misses; corrupt entries (unparseable, missing fields,
+    digest mismatch) are moved to ``<root>/quarantine/`` with a
+    ``cache.corrupt`` event and then missed.
+    """
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
         self.counters = CacheCounters("lint")
+        self._blobs = BlobStore(
+            root if root is not None else default_cache_dir(),
+            LINT_KIND,
+            self.counters,
+        )
+
+    @property
+    def root(self) -> Path:
+        return self._blobs.root
 
     def _path(self, key: str) -> Path:
-        return self.root / "lint" / key[:2] / f"{key}.json"
+        return self._blobs.path(key)
 
     def load(self, key: str) -> Optional[LintReport]:
-        """The cached report for ``key``, or None (counted as hit/miss).
-
-        Same integrity contract as the result cache: absent or
-        schema-mismatched entries are plain misses; corrupt entries
-        (unparseable, missing fields, digest mismatch) are moved to
-        ``<root>/quarantine/`` with a ``cache.corrupt`` event and then
-        missed.
-        """
-        path = self._path(key)
-        try:
-            raw = path.read_bytes()
-        except OSError:
-            self.counters.miss()
-            return None
-        try:
-            # Decode inside the corruption guard: invalid UTF-8 is
-            # damage (UnicodeDecodeError is a ValueError), not a miss.
-            payload = json.loads(raw.decode("utf-8"))
-            if not isinstance(payload, dict):
-                raise ValueError("payload is not a JSON object")
-            if payload.get("schema") != LINT_SCHEMA:
-                self.counters.miss()
-                return None
-            if payload.get("digest") != payload_digest(payload["report"]):
-                raise ValueError("payload digest mismatch")
-            report = report_from_dict(payload["report"], from_cache=True)
-        except (ValueError, KeyError, TypeError) as exc:
-            quarantine_entry(
-                path,
-                self.root / "quarantine",
-                self.counters,
-                key,
-                f"{type(exc).__name__}: {exc}",
-            )
-            self.counters.miss()
-            return None
-        self.counters.hit()
-        return report
+        """The cached report for ``key``, or None (counted as hit/miss)."""
+        return self._blobs.load(key, _cached_report_from_dict)
 
     def store(self, key: str, report: LintReport) -> None:
-        report_payload = report_to_dict(report)
-        payload = {
-            "schema": LINT_SCHEMA,
-            "digest": payload_digest(report_payload),
-            "report": report_payload,
-        }
-        path = self._path(key)
-        try:
-            _atomic_write_json(path, payload)
-        except OSError:
-            self.counters.store_error()
-            return
-        self.counters.store()
-        faults.store_fault(path)
+        self._blobs.store(key, report_to_dict(report))
 
     def describe(self) -> str:
-        quarantined = (
-            f" quarantined={self.quarantined}" if self.quarantined else ""
-        )
-        return (
-            f"{self.counters.describe_hit_miss()} stores={self.stores}"
-            f"{quarantined} dir={self.root}"
-        )
+        return describe_counters(self.counters, self.root)
 
 
 def lint_file_cached(

@@ -37,7 +37,9 @@ CHECK_SCHEMA = 1
 #: Bump whenever any rule's behaviour changes (new rules, changed
 #: checks, changed messages) — cached reports from older rule sets must
 #: miss.
-CHECK_RULESET_VERSION = 3
+#: 4: robustness scope covers ``service``; RC204 checks ``*Store``
+#: classes and accepts delegation to them.
+CHECK_RULESET_VERSION = 4
 
 
 def check_key(

@@ -61,6 +61,7 @@ _PERSISTENCE_CALLS = frozenset(
         "load",
         "dump",
         "_atomic_write_json",
+        "atomic_write_json",
     }
 )
 
@@ -298,15 +299,29 @@ class CacheSchemaStampRule(ProjectCheckRule):
     rationale = (
         "An on-disk payload read by a newer layout must miss, not "
         "misdecode: store() embeds a 'schema' field, load() verifies "
-        "it before trusting the payload."
+        "it before trusting the payload.  A cache may instead delegate "
+        "persistence to a *Store class — which this rule then holds to "
+        "the same contract."
     )
+
+    def _delegates_to_store(self, node: ast.ClassDef) -> bool:
+        """Whether the class hands persistence to a ``*Store`` instance.
+
+        Delegation (``self._blobs = BlobStore(...)`` in ``__init__``,
+        load/store forwarding to it) moves the stamping obligation to
+        the store class, which this rule checks directly.
+        """
+        return any(
+            call.rsplit(".", 1)[-1].endswith("Store")
+            for call in _function_calls(node)
+        )
 
     def check(self, project: CheckProject) -> Iterator[Finding]:
         for module in project.modules:
             for node in module.tree.body:
                 if not (
                     isinstance(node, ast.ClassDef)
-                    and node.name.endswith("Cache")
+                    and node.name.endswith(("Cache", "Store"))
                 ):
                     continue
                 methods = {
@@ -324,6 +339,10 @@ class CacheSchemaStampRule(ProjectCheckRule):
                     for call in calls
                 )
                 if not persistent:
+                    continue
+                if node.name.endswith("Cache") and self._delegates_to_store(
+                    node
+                ):
                     continue
                 if "schema" not in string_constants(store_fn):
                     yield self.finding(

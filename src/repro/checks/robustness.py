@@ -7,7 +7,8 @@ That contract dies quietly the first time someone writes ``except
 Exception: pass`` on a recovery path — the failure still happens, but
 nothing counts it, nothing reports it, and the chaos tests cannot see
 it.  These rules apply to the robustness scope — path components
-``experiments`` and ``faults``, where recovery decisions live:
+``experiments``, ``faults``, and ``service``, where recovery decisions
+live:
 
 - **RC501** requires every ``except`` handler to do at least one
   observable thing with the failure: re-raise, raise a typed error,
@@ -29,8 +30,11 @@ from repro.checks.findings import Finding
 from repro.checks.project import CheckProject, SourceModule
 from repro.checks.rules import ModuleCheckRule, register
 
-#: Path components that place a module in robustness scope.
-ROBUSTNESS_SCOPE = frozenset({"experiments", "faults"})
+#: Path components that place a module in robustness scope.  The
+#: service tier joined in ruleset 4: its HTTP handlers and queue worker
+#: are long-running recovery paths where a swallowed exception turns
+#: into a silently wedged job.
+ROBUSTNESS_SCOPE = frozenset({"experiments", "faults", "service"})
 
 #: Attribute-call names that count as "recording the failure": the
 #: cache/journal counter protocol plus metric increments.

@@ -30,6 +30,13 @@ overridden by the ``REPRO_CACHE_DIR`` environment variable.
 conversions (``repro-convert --suite``): a sidecar JSON next to each
 output trace records the inputs and the output digest, so a re-run skips
 conversions whose inputs and output file are both intact.
+
+The storage mechanics (envelope layout, digest verification, quarantine,
+atomic writes) live in :mod:`repro.service.store` — the service's
+content-addressed artifact store — and :class:`ResultCache` is a thin
+view over its ``runs`` blob kind, so ``repro-serve`` and the one-shot
+CLIs share entries byte-for-byte.  The keying functions stay here: they
+are experiment-domain knowledge, not storage.
 """
 
 from __future__ import annotations
@@ -37,7 +44,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -46,9 +52,37 @@ from repro.champsim.branch_info import BranchRules, BranchType
 from repro.core.convert import ConversionStats
 from repro.core.improvements import Improvement
 from repro.obs.instruments import CacheCounters, InstrumentedCache
+from repro.service.store import (
+    BlobKind,
+    BlobStore,
+    atomic_write_json,
+    default_store_root,
+    describe_counters,
+    file_digest,
+    payload_digest,
+    quarantine_entry,
+)
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
 from repro.synth.generator import GENERATOR_VERSION
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ConversionCache",
+    "ResultCache",
+    "config_fingerprint",
+    "conversion_key",
+    "default_cache_dir",
+    "file_digest",
+    "payload_digest",
+    "quarantine_entry",
+    "run_key",
+    "run_result_from_dict",
+    "run_result_to_dict",
+]
+
+#: Historic import spelling, kept for the modules/tests that bind it.
+_atomic_write_json = atomic_write_json
 
 #: Bump on any change to the serialised payload layout; old entries
 #: become unreadable (treated as misses) rather than misdecoded.
@@ -64,10 +98,7 @@ _BRANCH_KEYED_FIELDS = frozenset(
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
-    override = os.environ.get("REPRO_CACHE_DIR")
-    if override:
-        return Path(override)
-    return Path.home() / ".cache" / "repro"
+    return default_store_root()
 
 
 # ----------------------------------------------------------------------
@@ -190,113 +221,42 @@ def conversion_key(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def file_digest(path: Union[str, Path]) -> str:
-    """SHA-256 of a file's bytes (the on-disk, possibly compressed form)."""
-    digest = hashlib.sha256()
-    with open(path, "rb") as stream:
-        for chunk in iter(lambda: stream.read(1 << 16), b""):
-            digest.update(chunk)
-    return digest.hexdigest()
-
-
-def payload_digest(payload: Any) -> str:
-    """SHA-256 of the canonical JSON encoding of ``payload``.
-
-    Stored alongside every cache entry and recomputed on load, so damage
-    anywhere in the payload — even a bit-flip that still parses as valid
-    JSON — is detected instead of served as a wrong-value hit.
-    """
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
-    """Write JSON via a same-directory temp file + rename.
-
-    Concurrent writers (parallel workers, parallel CI jobs) race benignly:
-    both write the same content-addressed payload and the last rename
-    wins.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(payload, sort_keys=True))
-    os.replace(tmp, path)
-
-
-def _emit_cache_corrupt(
-    cache: str, key: str, path: Path, moved: str, reason: str
-) -> None:
-    """Structured ``cache.corrupt`` event (no-op when obs is off)."""
-    from repro import obs
-
-    if not obs.enabled():
-        return
-    obs.emit_event(
-        "cache.corrupt",
-        {
-            "cache": cache,
-            "key": key,
-            "path": str(path),
-            "quarantined_to": moved,
-            "reason": reason,
-        },
-    )
-
-
-def quarantine_entry(
-    path: Path,
-    quarantine_dir: Path,
-    counters: CacheCounters,
-    key: str,
-    reason: str,
-) -> None:
-    """Move a corrupt cache entry aside; record what happened and why.
-
-    Quarantining (instead of deleting or leaving in place) serves two
-    needs at once: the bad bytes are preserved for diagnosis, and the
-    next lookup of the key is a clean miss-then-store rather than a
-    re-parse of the same damaged file on every run.  The move itself is
-    best-effort — a cache on failing storage must still degrade to a
-    miss, never an exception.
-    """
-    try:
-        quarantine_dir.mkdir(parents=True, exist_ok=True)
-        destination = quarantine_dir / path.name
-        os.replace(path, destination)
-        _emit_cache_corrupt(counters.cache, key, path, str(destination), reason)
-    except OSError as exc:
-        _emit_cache_corrupt(
-            counters.cache,
-            key,
-            path,
-            "",
-            f"{reason}; quarantine move failed: {exc}",
-        )
-    counters.quarantine()
-
-
 # ----------------------------------------------------------------------
 # caches
 # ----------------------------------------------------------------------
+
+#: The RunResult blob family (layout and envelope unchanged from the
+#: pre-store cache, so existing entries stay readable both ways).
+RESULT_KIND = BlobKind(name="runs", schema=CACHE_SCHEMA, body_field="result")
 
 
 class ResultCache(InstrumentedCache):
     """On-disk store of :class:`RunResult` payloads, with hit counters.
 
-    Counter note: failed writes (unwritable/full cache dir) are counted
-    as ``store_errors``, never raised — the cache is an optimisation and
-    a sweep must survive a broken cache directory.
+    A thin view over the service blob store
+    (:class:`repro.service.store.BlobStore`): keying, schema stamping,
+    digest verification, quarantine, and store-error absorption all live
+    there; this class only binds the ``runs`` kind to the RunResult
+    (de)serialisers.
     """
 
     def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
         self.counters = CacheCounters("result")
+        self._blobs = BlobStore(
+            root if root is not None else default_cache_dir(),
+            RESULT_KIND,
+            self.counters,
+        )
+
+    @property
+    def root(self) -> Path:
+        return self._blobs.root
 
     def _path(self, key: str) -> Path:
-        return self.root / "runs" / key[:2] / f"{key}.json"
+        return self._blobs.path(key)
 
     def _quarantine_dir(self) -> Path:
-        return self.root / "quarantine"
+        return self._blobs.quarantine_dir()
 
     def load(self, key: str) -> Optional["RunResult"]:  # noqa: F821
         """The cached result for ``key``, or None (counted as hit/miss).
@@ -308,68 +268,14 @@ class ResultCache(InstrumentedCache):
         counted as misses, so they cost one re-simulation and never
         surface as a wrong-value hit.
         """
-        path = self._path(key)
-        try:
-            raw = path.read_bytes()
-        except OSError:
-            # Absent (or unreadable) entry: the ordinary cold-cache miss.
-            self.counters.miss()
-            return None
-        try:
-            # Decode inside the corruption guard: a flipped high byte
-            # makes the entry invalid UTF-8, which is damage, not a
-            # cold cache (UnicodeDecodeError is a ValueError).
-            payload = json.loads(raw.decode("utf-8"))
-            if not isinstance(payload, dict):
-                raise ValueError("payload is not a JSON object")
-            if payload.get("schema") != CACHE_SCHEMA:
-                # Stale schema, not damage: a plain miss, no quarantine.
-                self.counters.miss()
-                return None
-            if payload.get("digest") != payload_digest(payload["result"]):
-                raise ValueError("payload digest mismatch")
-            result = run_result_from_dict(payload["result"])
-        except (ValueError, KeyError, TypeError) as exc:
-            quarantine_entry(
-                path,
-                self._quarantine_dir(),
-                self.counters,
-                key,
-                f"{type(exc).__name__}: {exc}",
-            )
-            self.counters.miss()
-            return None
-        self.counters.hit()
-        return result
+        return self._blobs.load(key, run_result_from_dict)
 
     def store(self, key: str, result: "RunResult") -> None:  # noqa: F821
-        result_payload = run_result_to_dict(result)
-        payload = {
-            "schema": CACHE_SCHEMA,
-            "digest": payload_digest(result_payload),
-            "result": result_payload,
-        }
-        path = self._path(key)
-        try:
-            _atomic_write_json(path, payload)
-        except OSError:
-            self.counters.store_error()
-            return
-        self.counters.store()
-        faults.store_fault(path)
+        self._blobs.store(key, run_result_to_dict(result))
 
     def describe(self) -> str:
         """Counter summary for CLI/CI reporting."""
-        errors = (
-            f" store_errors={self.store_errors}" if self.store_errors else ""
-        )
-        quarantined = (
-            f" quarantined={self.quarantined}" if self.quarantined else ""
-        )
-        return (
-            f"{self.counters.describe_hit_miss()} stores={self.stores}"
-            f"{errors}{quarantined} dir={self.root}"
-        )
+        return describe_counters(self.counters, self.root, store_errors=True)
 
 
 class ConversionCache:
@@ -473,4 +379,6 @@ class ConversionCache:
         faults.store_fault(sidecar)
 
     def describe(self) -> str:
-        return f"{self.counters.describe_hit_miss()} dir={self.output_dir}"
+        return describe_counters(
+            self.counters, self.output_dir, stores=False, quarantined=False
+        )

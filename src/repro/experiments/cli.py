@@ -60,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweeps (0 = all cores)",
     )
     parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help=(
+            "fetch from a running repro-serve instead of simulating "
+            "locally (e.g. http://127.0.0.1:8321); output is "
+            "byte-identical to the local path"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         default=None,
         choices=["scalar", "vector"],
@@ -167,10 +177,57 @@ def _print_quarantine_report(name: str, failure: TaskFailure) -> None:
         print(tb.rstrip(), file=sys.stderr)
 
 
+def _run_remote(args: "argparse.Namespace") -> int:
+    """Fetch the chosen experiments from a running ``repro-serve``.
+
+    Prints the same non-bracketed text the local path would (the server
+    renders through :func:`run_experiment` over the shared store), with
+    ``[simulations=N]`` summing what the *server* performed for these
+    requests — 0 end to end when the store is warm.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.fleet import SERVICE_EXPERIMENTS
+
+    chosen = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    unsupported = [n for n in chosen if n not in SERVICE_EXPERIMENTS]
+    if unsupported:
+        print(
+            "repro-experiment: not served by repro-serve: "
+            + ", ".join(unsupported),
+            file=sys.stderr,
+        )
+        return EXIT_TASK_FAILURE
+    client = ServiceClient(args.server)
+    print(f"[server {args.server}]")
+    simulations = 0
+    for name in chosen:
+        start = time.time()
+        print()
+        try:
+            text, performed = client.fetch_experiment(
+                name,
+                instructions=args.instructions,
+                stride=args.stride,
+                limit=args.limit,
+                engine=args.engine,
+            )
+        except ServiceError as exc:
+            print(f"repro-experiment: {name}: {exc}", file=sys.stderr)
+            return EXIT_TASK_FAILURE
+        simulations += performed
+        print(text)
+        print(f"[{name} took {time.time() - start:.1f}s]")
+    print()
+    print(f"[simulations={simulations}]")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     logutil.configure_from_args(args)
     obs.setup_cli("repro-experiment", args)
+    if args.server is not None:
+        return _run_remote(args)
     cache = None
     if not args.no_cache:
         from repro.experiments.cache import ResultCache

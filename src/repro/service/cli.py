@@ -1,0 +1,121 @@
+"""``repro-serve`` — run the experiment service.
+
+Usage::
+
+    repro-serve --port 8321 --store /tmp/repro-store --jobs 4
+    curl -X POST localhost:8321/v1/sweeps \\
+         -d '{"experiment": "fig1", "stride": 27, "instructions": 800}'
+    curl localhost:8321/v1/figures/fig1?stride=27&instructions=800
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.faults.retry import RetryPolicy
+from repro.obs import logutil
+from repro.service.fleet import DEFAULT_SHARD_SIZE, Fleet, LocalPoolBackend
+from repro.service.http import make_server
+from repro.service.store import ArtifactStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the paper's figures and tables over HTTP.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="bind port (0 = pick a free port; default: 8321)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "artifact store directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro — shared with repro-experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per shard (0 = all cores)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=DEFAULT_SHARD_SIZE,
+        help="tasks per dispatched shard",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failing task (default: 1)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task wall-clock bound in seconds",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint sweep completions to per-sweep journals here; "
+            "an interrupted sweep resumes where it died"
+        ),
+    )
+    obs.add_obs_flags(parser)
+    logutil.add_logging_flags(parser)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    logutil.configure_from_args(args)
+    obs.setup_cli("repro-serve", args)
+    store = ArtifactStore(args.store)
+    backend = LocalPoolBackend(
+        jobs=None if args.jobs == 0 else args.jobs,
+        retry_policy=RetryPolicy(attempts=1 + max(0, args.retries)),
+        task_timeout=args.task_timeout,
+    )
+    fleet = Fleet(
+        store,
+        backend=backend,
+        shard_size=args.shard_size,
+        journal_dir=Path(args.journal_dir) if args.journal_dir else None,
+    )
+    server = make_server(args.host, args.port, fleet)
+    host, port = server.server_address[:2]
+    print(
+        f"[repro-serve listening on http://{host}:{port} "
+        f"store={store.root} backend={backend.describe()}]",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("[repro-serve shutting down]", file=sys.stderr)
+    finally:
+        server.service.stop()
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

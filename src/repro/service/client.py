@@ -1,0 +1,147 @@
+"""Client helpers for a running ``repro-serve`` (stdlib urllib only).
+
+``repro-experiment --server URL`` rides on this: instead of simulating
+locally it submits/fetches over HTTP and prints the same text the local
+path would have produced (byte-identical — the server renders through
+the same code).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service, with its status and body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = message
+
+
+class ServiceClient:
+    """Thin typed wrapper over the v1 HTTP API."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        body = None
+        headers = {"Accept": "application/json, text/plain"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, dict(resp.headers.items()), resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(detail)["error"]
+            except (ValueError, KeyError, TypeError):
+                # Not the service's JSON error shape: surface the raw
+                # body in the raised error instead.
+                raise ServiceError(exc.code, detail) from exc
+            raise ServiceError(exc.code, message) from exc
+
+    def _json(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        _, _, body = self._request(method, path, payload)
+        result = json.loads(body.decode("utf-8"))
+        if not isinstance(result, dict):
+            raise ServiceError(502, f"expected a JSON object from {path}")
+        return result
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def submit_sweep(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/sweeps``; returns the job stub (dedup-aware)."""
+        return self._json("POST", "/v1/sweeps", params)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>``."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job settles; raises on timeout or failure."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] == "done":
+                return status
+            if status["state"] == "failed":
+                raise ServiceError(
+                    500, status.get("error") or f"job {job_id} failed"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    504, f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def _render(
+        self, family: str, name: str, params: Dict[str, Any]
+    ) -> Tuple[str, int]:
+        query = "&".join(
+            f"{field}={value}"
+            for field, value in sorted(params.items())
+            if value is not None
+        )
+        path = f"/v1/{family}/{name}" + (f"?{query}" if query else "")
+        _, headers, body = self._request("GET", path)
+        simulations = int(headers.get("X-Repro-Simulations", "0"))
+        return body.decode("utf-8"), simulations
+
+    def figure(self, name: str, **params: Any) -> Tuple[str, int]:
+        """``GET /v1/figures/<name>`` -> (text, simulations performed)."""
+        return self._render("figures", name, params)
+
+    def table(self, name: str, **params: Any) -> Tuple[str, int]:
+        """``GET /v1/tables/<name>`` -> (text, simulations performed)."""
+        return self._render("tables", name, params)
+
+    def fetch_experiment(
+        self, name: str, **params: Any
+    ) -> Tuple[str, int]:
+        """Figure or table by experiment name (what the CLI calls)."""
+        family = "figures" if name.startswith("fig") else "tables"
+        return self._render(family, name, params)
+
+    def artifact(self, key: str) -> Dict[str, Any]:
+        """``GET /v1/artifacts/<key>``."""
+        return self._json("GET", f"/v1/artifacts/{key}")
+
+    def status(self) -> Dict[str, Any]:
+        """``GET /v1/status``."""
+        return self._json("GET", "/v1/status")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` (Prometheus text exposition)."""
+        _, _, body = self._request("GET", "/metrics")
+        return body.decode("utf-8")

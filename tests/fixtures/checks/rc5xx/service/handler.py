@@ -1,0 +1,13 @@
+"""Negative control: an unsafe service handler (the ``service`` path
+component is in robustness scope as of ruleset 4)."""
+
+
+class UnsafeHandler:
+    def handle_submit(self, body):
+        try:
+            return self.enqueue(body)
+        except Exception:  # RC501: the job vanishes; the client polls forever
+            return None
+
+    def enqueue(self, body):
+        raise NotImplementedError
